@@ -1,0 +1,346 @@
+//! Shared pieces of the logging baselines: per-core log areas with
+//! coalesced line-write accounting, and commit registers.
+//!
+//! Hardware logging designs (ATOM, DHTM) append log entries through a
+//! write-combining buffer at the memory controller, so consecutive appends
+//! share cache-line writes. [`CoreLog`] models that: it counts one NVRAM
+//! line write per *newly touched* line of the log, not per append.
+
+use ssp_simulator::addr::{PhysAddr, VirtAddr, LINE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::machine::Machine;
+use ssp_simulator::stats::WriteClass;
+use ssp_simulator::timing::MemKind;
+use ssp_txn::vm::NvLayout;
+
+/// Bytes of log area per core.
+pub const PER_CORE_LOG_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Header byte offsets (per core) for the baselines' registers; the VM
+/// manager owns 0..64 and SSP owns 64..128.
+const HDR_BASE: u64 = 128;
+const HDR_STRIDE: u64 = 64; // one line per core: no false sharing
+
+/// One log entry: a full line image plus identifying metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Owning transaction.
+    pub tid: u64,
+    /// Home physical address of the line.
+    pub paddr: PhysAddr,
+    /// Virtual line address (diagnostics).
+    pub vaddr: VirtAddr,
+    /// The logged line image (old data for undo, new data for redo).
+    pub data: [u8; LINE_SIZE],
+}
+
+/// Serialised entry size: tid(8) + paddr(8) + vaddr(8) + data(64).
+pub const ENTRY_BYTES: u64 = 88;
+
+/// A per-core log area with coalesced write accounting.
+#[derive(Debug)]
+pub struct CoreLog {
+    layout: NvLayout,
+    core: usize,
+    /// Volatile append offset.
+    head: u64,
+    /// Highest log line already counted as written (for coalescing).
+    counted_until: u64,
+    entries_appended: u64,
+}
+
+impl CoreLog {
+    /// Opens core `core`'s log area.
+    pub fn new(layout: NvLayout, core: usize) -> Self {
+        Self {
+            layout,
+            core,
+            head: 0,
+            counted_until: 0,
+            entries_appended: 0,
+        }
+    }
+
+    /// Entries appended since creation.
+    pub fn entries_appended(&self) -> u64 {
+        self.entries_appended
+    }
+
+    /// Live entries (since the last truncation).
+    pub fn len(&self) -> usize {
+        (self.head / ENTRY_BYTES) as usize
+    }
+
+    /// Whether the log holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.head == 0
+    }
+
+    /// Appends an entry and persists it. Returns the persist latency in
+    /// cycles (callers decide whether it blocks the core — undo logging
+    /// blocks; redo logging overlaps). NVRAM line writes are counted with
+    /// coalescing: only newly touched log lines count.
+    pub fn append(&mut self, machine: &mut Machine, entry: &LogEntry) -> u64 {
+        let mut buf = [0u8; ENTRY_BYTES as usize];
+        buf[0..8].copy_from_slice(&entry.tid.to_le_bytes());
+        buf[8..16].copy_from_slice(&entry.paddr.raw().to_le_bytes());
+        buf[16..24].copy_from_slice(&entry.vaddr.raw().to_le_bytes());
+        buf[24..24 + LINE_SIZE].copy_from_slice(&entry.data);
+
+        let addr = self.entry_addr(self.head);
+        // Store the bytes without the per-call line counting of
+        // persist_bytes; count coalesced below.
+        machine.store_bytes_raw(addr, &buf);
+        self.head += ENTRY_BYTES;
+        self.entries_appended += 1;
+
+        // Coalesced accounting: lines fully or newly covered by [0, head).
+        let end_line = self.head.div_ceil(LINE_SIZE as u64);
+        let new_lines = end_line.saturating_sub(self.counted_until);
+        self.counted_until = end_line;
+        let mut cycles = 0;
+        for i in 0..new_lines {
+            let line_addr = self.entry_addr((self.counted_until - new_lines + i) * LINE_SIZE as u64);
+            cycles += machine.account_write(MemKind::Nvram, line_addr, WriteClass::Log);
+        }
+        if cycles == 0 {
+            // Entirely coalesced into an already-counted line; charge the
+            // buffered-write cost only.
+            cycles = machine.config().ns_to_cycles(machine.config().nvram.write_ns)
+                / machine.config().persist_mlp.max(1) as u64;
+        }
+        cycles
+    }
+
+    /// Reads all live entries (oldest first).
+    pub fn read_all(&self, machine: &Machine) -> Vec<LogEntry> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut offset = 0;
+        while offset + ENTRY_BYTES <= self.head {
+            let mut buf = [0u8; ENTRY_BYTES as usize];
+            machine.read_bytes_uncached(self.entry_addr(offset), &mut buf);
+            let tid = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+            let paddr = PhysAddr::new(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+            let vaddr = VirtAddr::new(u64::from_le_bytes(buf[16..24].try_into().unwrap()));
+            let mut data = [0u8; LINE_SIZE];
+            data.copy_from_slice(&buf[24..24 + LINE_SIZE]);
+            out.push(LogEntry {
+                tid,
+                paddr,
+                vaddr,
+                data,
+            });
+            offset += ENTRY_BYTES;
+        }
+        out
+    }
+
+    /// Truncates the log (volatile — validity is determined by the commit
+    /// register, see [`CommitRegister`]).
+    pub fn truncate(&mut self) {
+        self.head = 0;
+        self.counted_until = 0;
+    }
+
+    /// Persists the current head so recovery knows the extent of valid
+    /// entries. One 8-byte persist (one line write).
+    pub fn persist_head(&mut self, machine: &mut Machine, core: Option<CoreId>) {
+        machine.persist_bytes(
+            core,
+            self.head_addr(),
+            &self.head.to_le_bytes(),
+            WriteClass::Log,
+        );
+    }
+
+    /// Re-reads the persisted head after a crash.
+    pub fn recover(&mut self, machine: &Machine) {
+        let mut buf = [0u8; 8];
+        machine.read_bytes_uncached(self.head_addr(), &mut buf);
+        self.head = u64::from_le_bytes(buf);
+        self.counted_until = 0;
+    }
+
+    fn head_addr(&self) -> PhysAddr {
+        self.layout
+            .header_addr(HDR_BASE + self.core as u64 * HDR_STRIDE)
+    }
+
+    fn entry_addr(&self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < PER_CORE_LOG_BYTES);
+        self.layout
+            .log_addr(self.core as u64 * PER_CORE_LOG_BYTES + offset)
+    }
+}
+
+/// A per-core persisted "last committed transaction" register — the commit
+/// point of the logging designs.
+#[derive(Debug)]
+pub struct CommitRegister {
+    layout: NvLayout,
+    core: usize,
+    value: u64,
+}
+
+impl CommitRegister {
+    /// Opens core `core`'s commit register.
+    pub fn new(layout: NvLayout, core: usize) -> Self {
+        Self {
+            layout,
+            core,
+            value: 0,
+        }
+    }
+
+    /// The last committed transaction id.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Persists `tid` as committed (the 8-byte atomic commit record).
+    /// Returns after charging the persist to `core` if given.
+    pub fn commit(&mut self, machine: &mut Machine, core: Option<CoreId>, tid: u64) {
+        self.value = tid;
+        machine.persist_bytes(core, self.addr(), &tid.to_le_bytes(), WriteClass::Log);
+    }
+
+    /// Re-reads the register after a crash.
+    pub fn recover(&mut self, machine: &Machine) {
+        let mut buf = [0u8; 8];
+        machine.read_bytes_uncached(self.addr(), &mut buf);
+        self.value = u64::from_le_bytes(buf);
+    }
+
+    fn addr(&self) -> PhysAddr {
+        self.layout
+            .header_addr(HDR_BASE + self.core as u64 * HDR_STRIDE + 8)
+    }
+}
+
+/// Extension methods the baselines need on [`Machine`].
+pub trait MachineLogExt {
+    /// Stores bytes to memory without counting line writes (the caller
+    /// accounts for them with coalescing).
+    fn store_bytes_raw(&mut self, addr: PhysAddr, data: &[u8]);
+
+    /// Counts one line write of `class` and returns its latency in cycles
+    /// without charging any core.
+    fn account_write(&mut self, kind: MemKind, addr: PhysAddr, class: WriteClass) -> u64;
+}
+
+impl MachineLogExt for Machine {
+    fn store_bytes_raw(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.write_bytes_unaccounted(addr, data);
+    }
+
+    fn account_write(&mut self, kind: MemKind, addr: PhysAddr, class: WriteClass) -> u64 {
+        self.account_memory_write(kind, addr, class)
+    }
+}
+
+/// One entry's worth of blocking persist latency (undo logging's stall).
+pub fn blocking_persist_cycles(machine: &Machine) -> u64 {
+    machine
+        .config()
+        .ns_to_cycles(machine.config().nvram.write_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_simulator::config::MachineConfig;
+
+    fn setup() -> (Machine, CoreLog) {
+        (
+            Machine::new(MachineConfig::default()),
+            CoreLog::new(NvLayout::default(), 0),
+        )
+    }
+
+    fn entry(tid: u64, seed: u8) -> LogEntry {
+        LogEntry {
+            tid,
+            paddr: PhysAddr::new(0x1000 + seed as u64 * 64),
+            vaddr: VirtAddr::new(0x2000 + seed as u64 * 64),
+            data: [seed; LINE_SIZE],
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, &entry(1, 0x11));
+        log.append(&mut m, &entry(1, 0x22));
+        let all = log.read_all(&m);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], entry(1, 0x11));
+        assert_eq!(all[1], entry(1, 0x22));
+    }
+
+    #[test]
+    fn coalesced_write_counting() {
+        let (mut m, mut log) = setup();
+        // 10 entries x 88 B = 880 B -> ceil(880/64) = 14 line writes, not
+        // 10 x 2 = 20.
+        for i in 0..10 {
+            log.append(&mut m, &entry(1, i));
+        }
+        assert_eq!(m.stats().nvram_writes(WriteClass::Log), 14);
+    }
+
+    #[test]
+    fn head_and_entries_survive_crash() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, &entry(9, 0x33));
+        log.persist_head(&mut m, None);
+        m.crash();
+        let mut log2 = CoreLog::new(NvLayout::default(), 0);
+        log2.recover(&m);
+        assert_eq!(log2.len(), 1);
+        assert_eq!(log2.read_all(&m)[0].tid, 9);
+    }
+
+    #[test]
+    fn unpersisted_head_hides_entries() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, &entry(9, 0x44));
+        // head never persisted
+        m.crash();
+        let mut log2 = CoreLog::new(NvLayout::default(), 0);
+        log2.recover(&m);
+        assert!(log2.is_empty());
+    }
+
+    #[test]
+    fn per_core_logs_are_disjoint() {
+        let (mut m, mut log0) = setup();
+        let mut log1 = CoreLog::new(NvLayout::default(), 1);
+        log0.append(&mut m, &entry(1, 0x55));
+        log1.append(&mut m, &entry(2, 0x66));
+        assert_eq!(log0.read_all(&m)[0].tid, 1);
+        assert_eq!(log1.read_all(&m)[0].tid, 2);
+    }
+
+    #[test]
+    fn commit_register_round_trip() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut reg = CommitRegister::new(NvLayout::default(), 0);
+        reg.commit(&mut m, None, 42);
+        m.crash();
+        let mut reg2 = CommitRegister::new(NvLayout::default(), 0);
+        reg2.recover(&m);
+        assert_eq!(reg2.get(), 42);
+    }
+
+    #[test]
+    fn truncate_resets_coalescing() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, &entry(1, 1));
+        log.truncate();
+        let before = m.stats().nvram_writes(WriteClass::Log);
+        log.append(&mut m, &entry(2, 2));
+        // After truncation the first log lines are rewritten and counted
+        // again.
+        assert!(m.stats().nvram_writes(WriteClass::Log) > before);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ssp-baselines — logging comparators for the SSP reproduction
+//!
+//! The engines the paper evaluates against (Section 5.1), plus the
+//! conventional shadow-paging ablation it dismisses analytically:
+//!
+//! * [`undo::UndoLog`] — hardware undo logging (ATOM-like): each first
+//!   write of a line persists an undo record *before* the in-place update;
+//!   the store blocks until the record is durable.
+//! * [`redo::RedoLog`] — hardware redo logging (DHTM-like): stores stay
+//!   speculative in the cache, a coalescing log buffer persists one entry
+//!   per line at commit, and the data write-back drains *after* commit,
+//!   delaying only subsequent transactions.
+//! * [`shadow::ShadowPaging`] — page-granularity copy-on-write, the
+//!   mechanism SSP refines; kept as an ablation baseline.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod redo;
+pub mod shadow;
+pub mod undo;
+
+pub use redo::RedoLog;
+pub use shadow::ShadowPaging;
+pub use undo::UndoLog;

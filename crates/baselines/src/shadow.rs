@@ -1,0 +1,478 @@
+//! Conventional page-granularity shadow paging — the mechanism SSP
+//! refines, kept as an ablation.
+//!
+//! The first transactional write to a page copies the **whole page** to a
+//! shadow frame (the copy-on-write the paper calls out as writing up to
+//! 64× more cache lines than necessary); further writes hit the shadow.
+//! Commit flushes the dirty shadow lines, journals the `(vpn → shadow)`
+//! remap list with a commit mark, and atomically repoints the page table.
+
+use std::collections::HashMap;
+
+use ssp_simulator::addr::{LineIdx, PhysAddr, Ppn, VirtAddr, Vpn};
+use ssp_simulator::cache::{CoreId, TxEviction};
+use ssp_simulator::config::MachineConfig;
+use ssp_simulator::machine::Machine;
+use ssp_simulator::stats::WriteClass;
+use ssp_simulator::tlb::Tlb;
+use ssp_txn::engine::{line_spans, TxnEngine, TxnStats, WriteSetTracker};
+use ssp_txn::vm::{NvLayout, VmManager, SHADOW_PAGES};
+
+use crate::common::{CommitRegister, CoreLog, LogEntry};
+
+#[derive(Debug)]
+struct OpenTxn {
+    tid: u64,
+    /// vpn → shadow frame for pages CoW'd by this transaction.
+    shadows: HashMap<u64, Ppn>,
+    /// Distinct lines actually written (flushed at commit).
+    dirty_lines: Vec<PhysAddr>,
+    tracker: WriteSetTracker,
+}
+
+/// The conventional shadow-paging engine.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_baselines::ShadowPaging;
+/// use ssp_simulator::cache::CoreId;
+/// use ssp_simulator::config::MachineConfig;
+/// use ssp_txn::engine::TxnEngine;
+///
+/// let mut e = ShadowPaging::new(MachineConfig::default());
+/// let core = CoreId::new(0);
+/// let addr = e.map_new_page(core).base();
+/// e.begin(core);
+/// e.store(core, addr, &7u64.to_le_bytes());
+/// e.commit(core);
+/// e.crash_and_recover();
+/// let mut buf = [0u8; 8];
+/// e.load(core, addr, &mut buf);
+/// assert_eq!(u64::from_le_bytes(buf), 7);
+/// ```
+#[derive(Debug)]
+pub struct ShadowPaging {
+    machine: Machine,
+    vm: VmManager,
+    tlbs: Vec<Tlb<()>>,
+    /// Remap journal (reuses the log machinery: one entry per remapped
+    /// page, `paddr` holds the new frame).
+    logs: Vec<CoreLog>,
+    commits: Vec<CommitRegister>,
+    open: Vec<Option<OpenTxn>>,
+    free_frames: Vec<Ppn>,
+    stats: TxnStats,
+    next_tid: u64,
+}
+
+impl ShadowPaging {
+    /// Builds a shadow-paging machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let layout = NvLayout::default();
+        let cores = cfg.cores;
+        let free_frames = (0..SHADOW_PAGES.min(16384))
+            .rev()
+            .map(|i| layout.shadow_page(i))
+            .collect();
+        Self {
+            machine: Machine::new(cfg.clone()),
+            vm: VmManager::new(layout),
+            tlbs: (0..cores).map(|_| Tlb::new(cfg.dtlb_entries)).collect(),
+            logs: (0..cores).map(|c| CoreLog::new(layout, c)).collect(),
+            commits: (0..cores).map(|c| CommitRegister::new(layout, c)).collect(),
+            open: (0..cores).map(|_| None).collect(),
+            free_frames,
+            stats: TxnStats::default(),
+            next_tid: 1,
+        }
+    }
+
+    fn translate(&mut self, core: CoreId, vpn: Vpn) -> Ppn {
+        let hit = self.tlbs[core.index()].lookup(vpn).is_some();
+        let ppn = self
+            .vm
+            .translate(vpn)
+            .unwrap_or_else(|| panic!("access to unmapped page {vpn}"));
+        if !hit {
+            self.machine.record_tlb_miss(core);
+            let _ = self.tlbs[core.index()].insert(vpn, ppn, ());
+        }
+        ppn
+    }
+
+    /// Resolves an address, honouring the transaction's shadow mappings.
+    fn resolve(&mut self, core: CoreId, addr: VirtAddr) -> PhysAddr {
+        let home = self.translate(core, addr.vpn());
+        let ppn = self.open[core.index()]
+            .as_ref()
+            .and_then(|t| t.shadows.get(&addr.vpn().raw()).copied())
+            .unwrap_or(home);
+        PhysAddr::new(ppn.base().raw() + addr.page_offset() as u64)
+    }
+
+    fn handle_tx_evictions(&mut self, evictions: Vec<TxEviction>) {
+        // Shadow frames are private until commit: writing them home early
+        // is harmless.
+        for ev in evictions {
+            self.machine
+                .persist_bytes(None, ev.line, &ev.data, WriteClass::Data);
+        }
+    }
+
+    /// Copy-on-write of a whole page into a fresh shadow frame — charged to
+    /// the core: this is the critical-path cost SSP eliminates.
+    fn cow_page(&mut self, core: CoreId, vpn: Vpn) -> Ppn {
+        let home = self.translate(core, vpn);
+        let shadow = self
+            .free_frames
+            .pop()
+            .expect("shadow frame pool exhausted");
+        let mlp = self.machine.config().persist_mlp.max(1) as u64;
+        for line in LineIdx::all() {
+            // The frame may have been recycled: drop any stale cached lines
+            // under its identity before the uncached copy lands.
+            self.machine.discard_line(shadow.line_addr(line));
+            self.machine.copy_line_uncached(
+                home.line_addr(line),
+                shadow.line_addr(line),
+                WriteClass::PageCopy,
+            );
+            let cfg = self.machine.config();
+            let cycles = (cfg.ns_to_cycles(cfg.nvram.read_ns)
+                + cfg.ns_to_cycles(cfg.nvram.write_ns))
+                / mlp;
+            self.machine.add_cycles(core, cycles.max(1));
+        }
+        self.open[core.index()]
+            .as_mut()
+            .expect("open txn")
+            .shadows
+            .insert(vpn.raw(), shadow);
+        shadow
+    }
+
+    fn store_line(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
+        let vpn = addr.vpn();
+        let shadowed = self.open[core.index()]
+            .as_ref()
+            .expect("open txn")
+            .shadows
+            .contains_key(&vpn.raw());
+        if !shadowed {
+            self.cow_page(core, vpn);
+        }
+        let paddr = self.resolve(core, addr);
+        let r = self.machine.write(core, paddr, data, false);
+        self.handle_tx_evictions(r.tx_evictions);
+        let txn = self.open[core.index()].as_mut().expect("open txn");
+        let line = paddr.line_base();
+        if !txn.dirty_lines.contains(&line) {
+            txn.dirty_lines.push(line);
+        }
+    }
+}
+
+impl TxnEngine for ShadowPaging {
+    fn name(&self) -> &'static str {
+        "SHADOW"
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn map_new_page(&mut self, core: CoreId) -> Vpn {
+        self.vm.map_new_page(&mut self.machine, core)
+    }
+
+    fn begin(&mut self, core: CoreId) {
+        assert!(
+            self.open[core.index()].is_none(),
+            "{core} already has an open transaction"
+        );
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.open[core.index()] = Some(OpenTxn {
+            tid,
+            shadows: HashMap::new(),
+            dirty_lines: Vec::new(),
+            tracker: WriteSetTracker::new(),
+        });
+        self.machine.add_cycles(core, 10);
+    }
+
+    fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
+        self.stats.loads += 1;
+        let spans: Vec<_> = line_spans(addr, buf.len()).collect();
+        for span in spans {
+            let paddr = self.resolve(core, span.addr);
+            let r = self.machine.read(
+                core,
+                paddr,
+                &mut buf[span.buf_offset..span.buf_offset + span.len],
+            );
+            self.handle_tx_evictions(r.tx_evictions);
+        }
+    }
+
+    fn store(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
+        assert!(
+            self.open[core.index()].is_some(),
+            "ATOMIC_STORE outside a transaction on {core}"
+        );
+        self.stats.stores += 1;
+        self.open[core.index()]
+            .as_mut()
+            .expect("open txn")
+            .tracker
+            .record(addr, data.len());
+        let spans: Vec<_> = line_spans(addr, data.len()).collect();
+        for span in spans {
+            self.store_line(
+                core,
+                span.addr,
+                &data[span.buf_offset..span.buf_offset + span.len],
+            );
+        }
+    }
+
+    fn commit(&mut self, core: CoreId) {
+        let mut txn = self.open[core.index()]
+            .take()
+            .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
+        // 1. Persist the written shadow lines.
+        for &line in &txn.dirty_lines {
+            self.machine.flush(Some(core), line, WriteClass::Data);
+        }
+        // 2. Journal the remap list + commit mark, then repoint the page
+        //    table (replayed at recovery for torn multi-page commits).
+        for (&vpn_raw, &shadow) in &txn.shadows {
+            let entry = LogEntry {
+                tid: txn.tid,
+                paddr: shadow.base(),
+                vaddr: Vpn::new(vpn_raw).base(),
+                data: [0u8; 64],
+            };
+            let cycles = self.logs[core.index()].append(&mut self.machine, &entry);
+            let mlp = self.machine.config().persist_mlp.max(1) as u64;
+            self.machine.add_cycles(core, (cycles / mlp).max(1));
+        }
+        self.logs[core.index()].persist_head(&mut self.machine, Some(core));
+        self.commits[core.index()].commit(&mut self.machine, Some(core), txn.tid);
+        for (&vpn_raw, &shadow) in &txn.shadows {
+            let vpn = Vpn::new(vpn_raw);
+            let old = self.vm.translate(vpn).expect("mapped page");
+            self.vm.update_mapping(&mut self.machine, vpn, shadow);
+            self.free_frames.push(old);
+            // The TLB entry now translates to the shadow frame.
+            for tlb in &mut self.tlbs {
+                if tlb.peek(vpn).is_some() {
+                    let _ = tlb.insert(vpn, shadow, ());
+                }
+            }
+        }
+        self.logs[core.index()].truncate();
+        txn.tracker.fold_commit(&mut self.stats);
+    }
+
+    fn abort(&mut self, core: CoreId) {
+        let mut txn = self.open[core.index()]
+            .take()
+            .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
+        for (_, shadow) in txn.shadows.drain() {
+            // Shadow frames were never published: just recycle them.
+            self.free_frames.push(shadow);
+        }
+        for &line in &txn.dirty_lines {
+            self.machine.discard_line(line);
+        }
+        self.logs[core.index()].truncate();
+        txn.tracker.fold_abort(&mut self.stats);
+    }
+
+    fn crash(&mut self) {
+        self.machine.crash();
+        for tlb in &mut self.tlbs {
+            let _ = tlb.drain();
+        }
+        for o in &mut self.open {
+            *o = None;
+        }
+    }
+
+    fn recover(&mut self) {
+        self.vm.recover(&self.machine);
+        let mut max_tid = 0;
+        for c in 0..self.logs.len() {
+            self.logs[c].recover(&self.machine);
+            self.commits[c].recover(&self.machine);
+            let committed = self.commits[c].get();
+            max_tid = max_tid.max(committed);
+            // Replay remaps of committed transactions (idempotent).
+            for entry in self.logs[c].read_all(&self.machine) {
+                max_tid = max_tid.max(entry.tid);
+                if entry.tid <= committed {
+                    let vpn = VirtAddr::new(entry.vaddr.raw()).vpn();
+                    self.vm
+                        .update_mapping(&mut self.machine, vpn, entry.paddr.ppn());
+                }
+            }
+            self.logs[c].truncate();
+        }
+        // Rebuild the frame pool: everything not referenced by the page
+        // table is free.
+        let layout = NvLayout::default();
+        let used: std::collections::HashSet<u64> = (0..self.vm.mapped_pages())
+            .filter_map(|i| {
+                self.vm
+                    .translate(Vpn::new(ssp_txn::vm::HEAP_BASE_VPN + i))
+                    .map(|p| p.raw())
+            })
+            .collect();
+        self.free_frames = (0..SHADOW_PAGES.min(16384))
+            .rev()
+            .map(|i| layout.shadow_page(i))
+            .filter(|p| !used.contains(&p.raw()))
+            .collect();
+        self.next_tid = max_tid + 1;
+    }
+
+    fn in_txn(&self, core: CoreId) -> bool {
+        self.open[core.index()].is_some()
+    }
+
+    fn txn_stats(&self) -> &TxnStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId::new(0);
+
+    fn engine() -> ShadowPaging {
+        ShadowPaging::new(MachineConfig::default())
+    }
+
+    fn read_u64(e: &mut ShadowPaging, addr: VirtAddr) -> u64 {
+        let mut buf = [0u8; 8];
+        e.load(C0, addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    #[test]
+    fn committed_survives_crash() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        e.begin(C0);
+        e.store(C0, addr, &5u64.to_le_bytes());
+        e.commit(C0);
+        e.crash_and_recover();
+        assert_eq!(read_u64(&mut e, addr), 5);
+    }
+
+    #[test]
+    fn uncommitted_vanishes_on_crash() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        e.begin(C0);
+        e.store(C0, addr, &1u64.to_le_bytes());
+        e.commit(C0);
+        e.begin(C0);
+        e.store(C0, addr, &2u64.to_le_bytes());
+        e.crash_and_recover();
+        assert_eq!(read_u64(&mut e, addr), 1);
+    }
+
+    #[test]
+    fn cow_copies_full_page() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        e.begin(C0);
+        e.store(C0, addr, &1u64.to_le_bytes()); // one tiny store
+        e.commit(C0);
+        // 64 lines were copied for it.
+        assert_eq!(
+            e.machine().stats().nvram_writes(WriteClass::PageCopy),
+            64
+        );
+    }
+
+    #[test]
+    fn unwritten_data_preserved_across_cow() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        e.begin(C0);
+        e.store(C0, addr.add(2048), &99u64.to_le_bytes());
+        e.commit(C0);
+        e.begin(C0);
+        e.store(C0, addr, &1u64.to_le_bytes());
+        e.commit(C0);
+        // The line at 2048 travelled through the CoW.
+        assert_eq!(read_u64(&mut e, addr.add(2048)), 99);
+        assert_eq!(read_u64(&mut e, addr), 1);
+    }
+
+    #[test]
+    fn abort_recycles_shadow_frames() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        let free_before = e.free_frames.len();
+        e.begin(C0);
+        e.store(C0, addr, &1u64.to_le_bytes());
+        e.abort(C0);
+        assert_eq!(e.free_frames.len(), free_before);
+        assert_eq!(read_u64(&mut e, addr), 0);
+    }
+
+    #[test]
+    fn multi_page_atomicity() {
+        let mut e = engine();
+        let a = e.map_new_page(C0).base();
+        let b = e.map_new_page(C0).base();
+        e.begin(C0);
+        e.store(C0, a, &1u64.to_le_bytes());
+        e.store(C0, b, &2u64.to_le_bytes());
+        e.commit(C0);
+        e.begin(C0);
+        e.store(C0, a, &3u64.to_le_bytes());
+        e.store(C0, b, &4u64.to_le_bytes());
+        e.crash_and_recover();
+        assert_eq!(read_u64(&mut e, a), 1);
+        assert_eq!(read_u64(&mut e, b), 2);
+    }
+
+    #[test]
+    fn repeated_commits_alternate_frames() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        for i in 0..5u64 {
+            e.begin(C0);
+            e.store(C0, addr, &i.to_le_bytes());
+            e.commit(C0);
+            assert_eq!(read_u64(&mut e, addr), i);
+        }
+        e.crash_and_recover();
+        assert_eq!(read_u64(&mut e, addr), 4);
+    }
+
+    #[test]
+    fn frame_pool_rebuilt_after_recovery() {
+        let mut e = engine();
+        let addr = e.map_new_page(C0).base();
+        e.begin(C0);
+        e.store(C0, addr, &1u64.to_le_bytes());
+        e.commit(C0);
+        e.crash_and_recover();
+        // The frame now backing the page must not be in the free pool.
+        let backing = e.vm.translate(addr.vpn()).unwrap();
+        assert!(!e.free_frames.contains(&backing));
+    }
+}

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the simulator and engine primitives —
+//! the host-side cost of the simulation itself (not the simulated cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_baselines::{RedoLog, UndoLog};
+use ssp_core::engine::Ssp;
+use ssp_core::SspConfig;
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::config::MachineConfig;
+use ssp_txn::engine::TxnEngine;
+
+const C0: CoreId = CoreId::new(0);
+
+fn bench_ssp_txn(c: &mut Criterion) {
+    let mut engine = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let page = engine.map_new_page(C0).base();
+    let mut i = 0u64;
+    c.bench_function("ssp_small_txn", |b| {
+        b.iter(|| {
+            engine.begin(C0);
+            engine.store(C0, page.add((i % 32) * 64), &i.to_le_bytes());
+            engine.commit(C0);
+            i += 1;
+        })
+    });
+}
+
+fn bench_undo_txn(c: &mut Criterion) {
+    let mut engine = UndoLog::new(MachineConfig::default());
+    let page = engine.map_new_page(C0).base();
+    let mut i = 0u64;
+    c.bench_function("undo_small_txn", |b| {
+        b.iter(|| {
+            engine.begin(C0);
+            engine.store(C0, page.add((i % 32) * 64), &i.to_le_bytes());
+            engine.commit(C0);
+            i += 1;
+        })
+    });
+}
+
+fn bench_redo_txn(c: &mut Criterion) {
+    let mut engine = RedoLog::new(MachineConfig::default());
+    let page = engine.map_new_page(C0).base();
+    let mut i = 0u64;
+    c.bench_function("redo_small_txn", |b| {
+        b.iter(|| {
+            engine.begin(C0);
+            engine.store(C0, page.add((i % 32) * 64), &i.to_le_bytes());
+            engine.commit(C0);
+            i += 1;
+        })
+    });
+}
+
+fn bench_ssp_load(c: &mut Criterion) {
+    let mut engine = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let page = engine.map_new_page(C0).base();
+    engine.begin(C0);
+    for l in 0..32u64 {
+        engine.store(C0, page.add(l * 64), &l.to_le_bytes());
+    }
+    engine.commit(C0);
+    let mut buf = [0u8; 8];
+    let mut i = 0u64;
+    c.bench_function("ssp_cached_load", |b| {
+        b.iter(|| {
+            engine.load(C0, page.add((i % 32) * 64), &mut buf);
+            i += 1;
+        })
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    c.bench_function("ssp_crash_recover", |b| {
+        let mut engine = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let page = engine.map_new_page(C0).base();
+        engine.begin(C0);
+        engine.store(C0, page, &1u64.to_le_bytes());
+        engine.commit(C0);
+        b.iter(|| {
+            engine.crash_and_recover();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ssp_txn,
+    bench_undo_txn,
+    bench_redo_txn,
+    bench_ssp_load,
+    bench_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 5 — transactional throughput of the seven microbenchmarks,
+//! normalised to UNDO-LOG, for one thread (5a) and four threads (5b).
+
+use ssp_bench::{
+    env_setup, fmt_ratio, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind,
+};
+use ssp_simulator::config::MachineConfig;
+
+fn figure(threads: usize, label: &str) {
+    let cfg = MachineConfig::default().with_cores(threads.max(1));
+    let ssp_cfg = SspConfig::default();
+    let (run_cfg, scale) = env_setup(threads);
+
+    let mut rows = Vec::new();
+    for wkind in WorkloadKind::MICRO {
+        let mut cells = Vec::new();
+        let mut tps = Vec::new();
+        for ekind in EngineKind::PAPER {
+            let r = run_cell(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            tps.push(r.tps);
+        }
+        let base = tps[0]; // UNDO-LOG
+        for t in &tps {
+            cells.push(fmt_ratio(t / base));
+        }
+        cells.push(format!("{:.0}", tps[2] / 1000.0)); // absolute SSP kTPS
+        rows.push((wkind.name().to_string(), cells));
+    }
+    print_matrix(
+        label,
+        &["UNDO-LOG", "REDO-LOG", "SSP", "SSP kTPS"],
+        &rows,
+    );
+}
+
+fn main() {
+    figure(1, "Figure 5a: normalised TPS, one thread (UNDO-LOG = 1.0)");
+    figure(4, "Figure 5b: normalised TPS, four threads (UNDO-LOG = 1.0)");
+    println!("\npaper shape: SSP > REDO-LOG > UNDO-LOG on every workload;");
+    println!("single-thread means: SSP ~1.9x UNDO, ~1.3x REDO; 4 threads: ~2.4x / ~1.4x");
+}

@@ -1,0 +1,115 @@
+//! SSP-specific configuration knobs.
+
+/// Configuration of the SSP hardware extensions.
+///
+/// Defaults follow Section 5.1 of the paper: a 64-entry write-set buffer
+/// (sufficient for every evaluated workload), an SSP cache sized
+/// `cores × TLB entries + overprovision`, and roughly 1 K SSP-cache entries
+/// resident in a reserved slice of the L3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SspConfig {
+    /// Write-set buffer entries per core (pages per transaction before the
+    /// software fall-back path engages).
+    pub write_set_capacity: usize,
+    /// Overprovisioning factor `O` in the SSP-cache sizing rule
+    /// `N × T + O`.
+    pub ssp_cache_overprovision: usize,
+    /// SSP-cache entries that hit in the reserved L3 slice; accesses beyond
+    /// this recency depth pay DRAM latency.
+    pub ssp_cache_l3_entries: usize,
+    /// Fixed SSP-cache access latency override in cycles (Figure 9 sweep);
+    /// `None` uses the L3-slice recency model.
+    pub meta_latency_override: Option<u64>,
+    /// Checkpoint the metadata journal once it holds this many bytes.
+    pub checkpoint_threshold_bytes: u64,
+    /// Capacity of the metadata journal ring in bytes.
+    pub journal_capacity_bytes: u64,
+    /// Whether inactive pages are consolidated eagerly (`false` is the
+    /// space-for-writes ablation: pages keep both frames forever).
+    pub consolidation_enabled: bool,
+    /// Cache lines per tracked sub-page (Section 4.3): `1` is the paper's
+    /// base design (64 B tracking, 64-bit bitmaps); `4` models Optane's
+    /// 256 B persist granularity (16-bit bitmaps, smaller TLB cost, more
+    /// write amplification). Must be a power of two dividing 64.
+    pub lines_per_subpage: usize,
+}
+
+impl Default for SspConfig {
+    fn default() -> Self {
+        Self {
+            write_set_capacity: 64,
+            ssp_cache_overprovision: 64,
+            ssp_cache_l3_entries: 1024,
+            meta_latency_override: None,
+            checkpoint_threshold_bytes: 256 * 1024,
+            journal_capacity_bytes: 8 * 1024 * 1024,
+            consolidation_enabled: true,
+            lines_per_subpage: 1,
+        }
+    }
+}
+
+impl SspConfig {
+    /// The SSP-cache slot count for a machine with `cores` cores and
+    /// `tlb_entries`-entry TLBs: `N × T + O` (Section 4.1.2).
+    pub fn cache_slots(&self, cores: usize, tlb_entries: usize) -> usize {
+        cores * tlb_entries + self.ssp_cache_overprovision
+    }
+
+    /// Number of tracked sub-pages per page.
+    pub fn subpages_per_page(&self) -> usize {
+        ssp_simulator::addr::LINES_PER_PAGE / self.lines_per_subpage
+    }
+
+    /// Validates the sub-page setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines_per_subpage` is not a power of two dividing 64.
+    pub fn validate(&self) {
+        assert!(
+            self.lines_per_subpage.is_power_of_two()
+                && self.lines_per_subpage <= ssp_simulator::addr::LINES_PER_PAGE,
+            "lines_per_subpage must be a power of two dividing 64"
+        );
+        assert!(self.write_set_capacity > 0, "write-set capacity must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values() {
+        let c = SspConfig::default();
+        assert_eq!(c.write_set_capacity, 64);
+        assert_eq!(c.ssp_cache_l3_entries, 1024);
+        assert!(c.consolidation_enabled);
+        assert!(c.meta_latency_override.is_none());
+    }
+
+    #[test]
+    fn subpage_settings() {
+        let mut c = SspConfig::default();
+        assert_eq!(c.subpages_per_page(), 64);
+        c.lines_per_subpage = 4;
+        assert_eq!(c.subpages_per_page(), 16);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_subpage_panics() {
+        let mut c = SspConfig::default();
+        c.lines_per_subpage = 3;
+        c.validate();
+    }
+
+    #[test]
+    fn cache_sizing_rule() {
+        let c = SspConfig::default();
+        assert_eq!(c.cache_slots(4, 64), 4 * 64 + 64);
+        assert_eq!(c.cache_slots(1, 64), 128);
+    }
+}

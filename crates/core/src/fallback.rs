@@ -1,0 +1,222 @@
+//! The software fall-back path (Section 3.5 of the paper).
+//!
+//! SSP's hardware write-set buffer bounds the pages a transaction may
+//! touch; overflowing it transfers the overflowing updates to an unbounded
+//! software **undo log**. Updates beyond the buffer are performed in place
+//! at the committed location, protected by an undo record persisted
+//! *before* the in-place store (classic write-ahead undo logging).
+//!
+//! Durability is still cut by the metadata journal's `CommitMark`: at
+//! recovery, undo records whose transaction has no mark are rolled back,
+//! so the hardware-tracked and software-tracked parts of one transaction
+//! commit or vanish together.
+
+use ssp_simulator::addr::{PhysAddr, VirtAddr, LINE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::machine::Machine;
+use ssp_simulator::stats::WriteClass;
+use ssp_txn::vm::NvLayout;
+
+/// Byte offset of the fall-back log within the log region (the metadata
+/// journal owns the first half).
+const FB_REGION_OFFSET: u64 = 32 * 1024 * 1024;
+/// Header offset of the persisted fall-back head pointer.
+const HDR_FB_HEAD: u64 = 80;
+
+/// Size of one undo record: tid(4) + vaddr(8) + paddr(8) + data(64) = 84,
+/// padded to 96 so records stay line-friendly.
+pub const UNDO_RECORD_BYTES: u64 = 96;
+
+/// One decoded undo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoRecord {
+    /// Owning transaction.
+    pub tid: u32,
+    /// Virtual line address of the update.
+    pub vaddr: VirtAddr,
+    /// Physical (committed-copy) line address updated in place.
+    pub paddr: PhysAddr,
+    /// The pre-image of the full line.
+    pub old_data: [u8; LINE_SIZE],
+}
+
+/// The unbounded software undo log backing the fall-back path.
+#[derive(Debug)]
+pub struct FallbackLog {
+    layout: NvLayout,
+    /// Persisted append offset (bytes past the region base).
+    head: u64,
+}
+
+impl FallbackLog {
+    /// Opens the log over `layout`.
+    pub fn new(layout: NvLayout) -> Self {
+        Self { layout, head: 0 }
+    }
+
+    /// Number of live undo records.
+    pub fn len(&self) -> usize {
+        (self.head / UNDO_RECORD_BYTES) as usize
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head == 0
+    }
+
+    /// Appends and immediately persists an undo record, charging the
+    /// blocking persist latency to `core` — the fall-back path is slow by
+    /// design.
+    pub fn append(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        record: &UndoRecord,
+    ) {
+        let mut buf = [0u8; UNDO_RECORD_BYTES as usize];
+        buf[0..4].copy_from_slice(&record.tid.to_le_bytes());
+        buf[4..12].copy_from_slice(&record.vaddr.raw().to_le_bytes());
+        buf[12..20].copy_from_slice(&record.paddr.raw().to_le_bytes());
+        buf[20..20 + LINE_SIZE].copy_from_slice(&record.old_data);
+        let addr = self.record_addr(self.head);
+        machine.persist_bytes(Some(core), addr, &buf, WriteClass::Log);
+        self.head += UNDO_RECORD_BYTES;
+        machine.persist_bytes(
+            Some(core),
+            self.layout.header_addr(HDR_FB_HEAD),
+            &self.head.to_le_bytes(),
+            WriteClass::Log,
+        );
+    }
+
+    /// Reads all live records (oldest first).
+    pub fn read_all(&self, machine: &Machine) -> Vec<UndoRecord> {
+        let mut records = Vec::with_capacity(self.len());
+        let mut offset = 0;
+        while offset < self.head {
+            let mut buf = [0u8; UNDO_RECORD_BYTES as usize];
+            machine.read_bytes_uncached(self.record_addr(offset), &mut buf);
+            let tid = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+            let vaddr = VirtAddr::new(u64::from_le_bytes(buf[4..12].try_into().unwrap()));
+            let paddr = PhysAddr::new(u64::from_le_bytes(buf[12..20].try_into().unwrap()));
+            let mut old_data = [0u8; LINE_SIZE];
+            old_data.copy_from_slice(&buf[20..20 + LINE_SIZE]);
+            records.push(UndoRecord {
+                tid,
+                vaddr,
+                paddr,
+                old_data,
+            });
+            offset += UNDO_RECORD_BYTES;
+        }
+        records
+    }
+
+    /// Truncates the log (after commit or rollback) and persists the empty
+    /// head pointer.
+    pub fn reset(&mut self, machine: &mut Machine, core: Option<CoreId>) {
+        self.head = 0;
+        machine.persist_bytes(
+            core,
+            self.layout.header_addr(HDR_FB_HEAD),
+            &0u64.to_le_bytes(),
+            WriteClass::Log,
+        );
+    }
+
+    /// Re-reads the persisted head pointer after a crash.
+    pub fn recover(&mut self, machine: &Machine) {
+        let mut buf = [0u8; 8];
+        machine.read_bytes_uncached(self.layout.header_addr(HDR_FB_HEAD), &mut buf);
+        self.head = u64::from_le_bytes(buf);
+    }
+
+    fn record_addr(&self, offset: u64) -> PhysAddr {
+        // Records are 96 B and may straddle a page boundary; persist_bytes
+        // requires page-contained ranges, so records are laid out to never
+        // cross a page: 42 records fit a page (4032 B), the remainder is
+        // skipped.
+        let per_page = (4096 / UNDO_RECORD_BYTES) * UNDO_RECORD_BYTES;
+        let page = offset / per_page;
+        let within = offset % per_page;
+        self.layout
+            .log_addr(FB_REGION_OFFSET + page * 4096 + within)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_simulator::config::MachineConfig;
+
+    fn setup() -> (Machine, FallbackLog) {
+        (
+            Machine::new(MachineConfig::default()),
+            FallbackLog::new(NvLayout::default()),
+        )
+    }
+
+    fn record(tid: u32, seed: u8) -> UndoRecord {
+        UndoRecord {
+            tid,
+            vaddr: VirtAddr::new(0x10_0000_0000 + seed as u64 * 64),
+            paddr: PhysAddr::new(0x20_0000_0000 + seed as u64 * 64),
+            old_data: [seed; LINE_SIZE],
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let (mut m, mut log) = setup();
+        let c = CoreId::new(0);
+        log.append(&mut m, c, &record(1, 0xaa));
+        log.append(&mut m, c, &record(1, 0xbb));
+        let all = log.read_all(&m);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], record(1, 0xaa));
+        assert_eq!(all[1], record(1, 0xbb));
+    }
+
+    #[test]
+    fn records_survive_crash() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, CoreId::new(0), &record(7, 0x11));
+        m.crash();
+        let mut log2 = FallbackLog::new(NvLayout::default());
+        log2.recover(&m);
+        assert_eq!(log2.len(), 1);
+        assert_eq!(log2.read_all(&m)[0].tid, 7);
+    }
+
+    #[test]
+    fn reset_empties_durably() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, CoreId::new(0), &record(1, 0x22));
+        log.reset(&mut m, None);
+        m.crash();
+        let mut log2 = FallbackLog::new(NvLayout::default());
+        log2.recover(&m);
+        assert!(log2.is_empty());
+    }
+
+    #[test]
+    fn appends_count_as_log_writes() {
+        let (mut m, mut log) = setup();
+        log.append(&mut m, CoreId::new(0), &record(1, 0x33));
+        assert!(m.stats().nvram_writes(WriteClass::Log) >= 2);
+    }
+
+    #[test]
+    fn many_records_span_pages() {
+        let (mut m, mut log) = setup();
+        let c = CoreId::new(0);
+        for i in 0..100u32 {
+            log.append(&mut m, c, &record(i, i as u8));
+        }
+        let all = log.read_all(&m);
+        assert_eq!(all.len(), 100);
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.tid, i as u32);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # ssp-core — Shadow Sub-Paging
+//!
+//! The paper's primary contribution: failure-atomic transactions via
+//! cache-line-level shadow paging.
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod engine;
+pub mod fallback;
+pub mod config;
+pub mod consolidate;
+pub mod journal;
+pub mod ssp_cache;
+pub mod write_set;
+
+pub use bitmap::LineBitmap;
+pub use engine::Ssp;
+pub use config::SspConfig;

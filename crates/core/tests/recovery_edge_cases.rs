@@ -1,0 +1,181 @@
+//! Recovery edge cases for the SSP engine: journal epochs across repeated
+//! checkpoint/crash cycles, SSP-cache slot reuse, crash storms, and
+//! recovery idempotence under every configuration knob.
+
+use ssp_core::engine::Ssp;
+use ssp_core::SspConfig;
+use ssp_simulator::addr::VirtAddr;
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::config::MachineConfig;
+use ssp_txn::engine::TxnEngine;
+
+const C0: CoreId = CoreId::new(0);
+
+fn read_u64(e: &mut Ssp, addr: VirtAddr) -> u64 {
+    let mut buf = [0u8; 8];
+    e.load(C0, addr, &mut buf);
+    u64::from_le_bytes(buf)
+}
+
+fn commit_u64(e: &mut Ssp, addr: VirtAddr, v: u64) {
+    e.begin(C0);
+    e.store(C0, addr, &v.to_le_bytes());
+    e.commit(C0);
+}
+
+#[test]
+fn many_checkpoint_epochs_then_crash() {
+    // Epoch wrap-around safety: force hundreds of checkpoints so the u8
+    // epoch wraps at least once, then crash and verify.
+    let mut ssp_cfg = SspConfig::default();
+    ssp_cfg.checkpoint_threshold_bytes = 1; // checkpoint after every commit
+    let mut e = Ssp::new(MachineConfig::default(), ssp_cfg);
+    let addr = e.map_new_page(C0).base();
+    for i in 0..300u64 {
+        commit_u64(&mut e, addr.add((i % 16) * 8), i);
+    }
+    assert!(e.checkpoints() > 255, "epoch must wrap: {}", e.checkpoints());
+    e.crash_and_recover();
+    for i in 284..300u64 {
+        assert_eq!(read_u64(&mut e, addr.add((i % 16) * 8)), i);
+    }
+}
+
+#[test]
+fn crash_storm_between_every_transaction() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let addr = e.map_new_page(C0).base();
+    for i in 0..40u64 {
+        commit_u64(&mut e, addr, i);
+        e.crash_and_recover();
+        assert_eq!(read_u64(&mut e, addr), i, "iteration {i}");
+    }
+}
+
+#[test]
+fn double_crash_without_intervening_work() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let addr = e.map_new_page(C0).base();
+    commit_u64(&mut e, addr, 99);
+    e.crash_and_recover();
+    e.crash_and_recover();
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, addr), 99);
+}
+
+#[test]
+fn slot_reuse_across_crash() {
+    // Tiny SSP cache + many pages: slots are recycled; the Assign records
+    // must keep the persistent images coherent across crashes.
+    let mut ssp_cfg = SspConfig::default();
+    ssp_cfg.ssp_cache_overprovision = 2;
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 2;
+    cfg.cores = 1;
+    let mut e = Ssp::new(cfg, ssp_cfg);
+    let pages: Vec<VirtAddr> = (0..12).map(|_| e.map_new_page(C0).base()).collect();
+    for round in 0..3u64 {
+        for (i, &p) in pages.iter().enumerate() {
+            commit_u64(&mut e, p, round * 100 + i as u64);
+        }
+        e.crash_and_recover();
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(
+                read_u64(&mut e, p),
+                round * 100 + i as u64,
+                "round {round} page {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_immediately_after_map_new_page() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let a = e.map_new_page(C0).base();
+    commit_u64(&mut e, a, 5);
+    let b = e.map_new_page(C0).base();
+    // Crash before ever writing to b: the mapping itself must survive.
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, a), 5);
+    commit_u64(&mut e, b, 6);
+    assert_eq!(read_u64(&mut e, b), 6);
+}
+
+#[test]
+fn uncommitted_multi_page_txn_with_checkpoint_in_flight() {
+    // A checkpoint between two committed transactions must not resurrect
+    // or lose anything when the *next* transaction crashes.
+    let mut ssp_cfg = SspConfig::default();
+    ssp_cfg.checkpoint_threshold_bytes = 32;
+    let mut e = Ssp::new(MachineConfig::default(), ssp_cfg);
+    let a = e.map_new_page(C0).base();
+    let b = e.map_new_page(C0).base();
+    commit_u64(&mut e, a, 1);
+    commit_u64(&mut e, b, 2);
+    e.begin(C0);
+    e.store(C0, a, &3u64.to_le_bytes());
+    e.store(C0, b, &4u64.to_le_bytes());
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, a), 1);
+    assert_eq!(read_u64(&mut e, b), 2);
+}
+
+#[test]
+fn recovery_after_abort_then_crash() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let addr = e.map_new_page(C0).base();
+    commit_u64(&mut e, addr, 10);
+    e.begin(C0);
+    e.store(C0, addr, &20u64.to_le_bytes());
+    e.abort(C0);
+    e.begin(C0);
+    e.store(C0, addr, &30u64.to_le_bytes());
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, addr), 10);
+}
+
+#[test]
+fn interleaved_cores_one_crashes_mid_txn() {
+    let c1 = CoreId::new(1);
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let a = e.map_new_page(C0).base();
+    let b = e.map_new_page(c1).base();
+    // Core 0 commits; core 1 is mid-transaction at the crash.
+    e.begin(C0);
+    e.begin(c1);
+    e.store(C0, a, &1u64.to_le_bytes());
+    e.store(c1, b, &2u64.to_le_bytes());
+    e.commit(C0);
+    e.store(c1, b.add(8), &3u64.to_le_bytes());
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, a), 1);
+    assert_eq!(read_u64(&mut e, b), 0);
+    assert_eq!(read_u64(&mut e, b.add(8)), 0);
+}
+
+#[test]
+fn post_recovery_engine_is_fully_functional() {
+    // After a crash the engine must support the complete lifecycle again:
+    // mapping, transactions, aborts, consolidation, another crash.
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 4;
+    let mut e = Ssp::new(cfg, SspConfig::default());
+    let a = e.map_new_page(C0).base();
+    commit_u64(&mut e, a, 1);
+    e.crash_and_recover();
+
+    let pages: Vec<VirtAddr> = (0..10).map(|_| e.map_new_page(C0).base()).collect();
+    for (i, &p) in pages.iter().enumerate() {
+        commit_u64(&mut e, p, i as u64);
+    }
+    e.begin(C0);
+    e.store(C0, a, &999u64.to_le_bytes());
+    e.abort(C0);
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, a), 1);
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(read_u64(&mut e, p), i as u64);
+    }
+    assert!(e.consolidation_stats().pages > 0);
+}

@@ -1,0 +1,95 @@
+//! Tests of the Section 4.1.2 wear-levelling extension: the memory
+//! controller exchanges per-slot spare pages with fresh pages from the
+//! shadow pool, crash-atomically.
+
+use ssp_core::engine::Ssp;
+use ssp_core::SspConfig;
+use ssp_simulator::addr::VirtAddr;
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::config::MachineConfig;
+use ssp_txn::engine::TxnEngine;
+
+const C0: CoreId = CoreId::new(0);
+
+fn read_u64(e: &mut Ssp, addr: VirtAddr) -> u64 {
+    let mut buf = [0u8; 8];
+    e.load(C0, addr, &mut buf);
+    u64::from_le_bytes(buf)
+}
+
+fn commit_u64(e: &mut Ssp, addr: VirtAddr, v: u64) {
+    e.begin(C0);
+    e.store(C0, addr, &v.to_le_bytes());
+    e.commit(C0);
+}
+
+#[test]
+fn rotation_keeps_data_readable() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let pages: Vec<VirtAddr> = (0..8).map(|_| e.map_new_page(C0).base()).collect();
+    for (i, &p) in pages.iter().enumerate() {
+        commit_u64(&mut e, p, i as u64 + 1);
+    }
+    // Pages are still TLB-held so their committed bitmaps are live; only
+    // consolidated/empty slots rotate. Force inactivity first.
+    e.crash_and_recover(); // drops TLBs; recovery leaves committed state
+    let rotated = e.rotate_spares(64);
+    assert!(rotated > 0, "some slots rotated");
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(read_u64(&mut e, p), i as u64 + 1);
+    }
+}
+
+#[test]
+fn rotation_survives_crash() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let pages: Vec<VirtAddr> = (0..4).map(|_| e.map_new_page(C0).base()).collect();
+    for (i, &p) in pages.iter().enumerate() {
+        commit_u64(&mut e, p, 100 + i as u64);
+    }
+    e.crash_and_recover();
+    e.rotate_spares(64);
+    // New transactions use the fresh spares; everything stays consistent
+    // across another crash.
+    for (i, &p) in pages.iter().enumerate() {
+        commit_u64(&mut e, p, 200 + i as u64);
+    }
+    e.crash_and_recover();
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(read_u64(&mut e, p), 200 + i as u64);
+    }
+}
+
+#[test]
+fn repeated_rotation_uses_distinct_fresh_pages() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let p = e.map_new_page(C0).base();
+    commit_u64(&mut e, p, 1);
+    e.crash_and_recover();
+    let r1 = e.rotate_spares(4);
+    let r2 = e.rotate_spares(4);
+    assert!(r1 > 0 && r2 > 0);
+    // After two rotations plus intervening commits, data is intact.
+    commit_u64(&mut e, p, 2);
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, p), 2);
+}
+
+#[test]
+fn rotation_counter_survives_crash() {
+    // The fresh-page counter is persisted, so post-crash rotations cannot
+    // re-issue spare pages that are already in use.
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let p = e.map_new_page(C0).base();
+    commit_u64(&mut e, p, 1);
+    e.crash_and_recover();
+    let before = e.rotate_spares(8);
+    assert!(before > 0);
+    commit_u64(&mut e, p, 2);
+    e.crash_and_recover();
+    let again = e.rotate_spares(8);
+    assert!(again > 0);
+    commit_u64(&mut e, p, 3);
+    e.crash_and_recover();
+    assert_eq!(read_u64(&mut e, p), 3);
+}

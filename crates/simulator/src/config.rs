@@ -1,0 +1,212 @@
+//! Machine configuration.
+//!
+//! [`MachineConfig::default`] reproduces Table 2 of the paper: a 4-core
+//! 3.7 GHz processor with 32 KiB L1, 256 KiB L2, 12 MiB shared L3, a
+//! 64-entry DTLB, and a hybrid memory with 50 ns DRAM and 50/200 ns
+//! (read/write) NVRAM.
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in core cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets (`size / (ways * 64)`).
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * crate::addr::LINE_SIZE)
+    }
+}
+
+/// Configuration of one memory technology (DRAM or NVRAM channel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemTechConfig {
+    /// Array read latency in nanoseconds.
+    pub read_ns: f64,
+    /// Array write latency in nanoseconds.
+    pub write_ns: f64,
+    /// Number of banks per rank.
+    pub banks: usize,
+    /// Row-buffer size in bytes.
+    pub row_buffer_bytes: usize,
+    /// Extra latency (ns) charged on a row-buffer miss (activate+precharge).
+    pub row_miss_penalty_ns: f64,
+}
+
+/// Full machine configuration (Table 2 of the paper by default).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::config::MachineConfig;
+///
+/// let cfg = MachineConfig::default();
+/// assert_eq!(cfg.cores, 4);
+/// assert_eq!(cfg.dtlb_entries, 64);
+/// assert_eq!(cfg.nvram.write_ns, 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Core clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Data-TLB entries per core.
+    pub dtlb_entries: usize,
+    /// L1 data cache (per core).
+    pub l1: CacheConfig,
+    /// L2 cache (per core).
+    pub l2: CacheConfig,
+    /// L3 cache (shared).
+    pub l3: CacheConfig,
+    /// DRAM channel parameters.
+    pub dram: MemTechConfig,
+    /// NVRAM channel parameters.
+    pub nvram: MemTechConfig,
+    /// Cycles charged for a page-table walk on a TLB miss.
+    pub page_walk_cycles: u64,
+    /// Cycles charged for a TLB-coherence (`flip-current-bit`) broadcast.
+    pub coherence_broadcast_cycles: u64,
+    /// Maximum overlap factor for back-to-back persists (memory-level
+    /// parallelism of the write-combining path); `1` means fully serial.
+    pub persist_mlp: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            cores: 4,
+            freq_ghz: 3.7,
+            dtlb_entries: 64,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                latency_cycles: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                latency_cycles: 6,
+            },
+            l3: CacheConfig {
+                size_bytes: 12 * 1024 * 1024,
+                ways: 16,
+                latency_cycles: 27,
+            },
+            dram: MemTechConfig {
+                read_ns: 50.0,
+                write_ns: 50.0,
+                banks: 64,
+                row_buffer_bytes: 1024,
+                row_miss_penalty_ns: 15.0,
+            },
+            nvram: MemTechConfig {
+                read_ns: 50.0,
+                write_ns: 200.0,
+                banks: 32,
+                row_buffer_bytes: 2048,
+                row_miss_penalty_ns: 15.0,
+            },
+            page_walk_cycles: 100,
+            coherence_broadcast_cycles: 20,
+            persist_mlp: 4,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Converts nanoseconds to core cycles at the configured frequency.
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.freq_ghz).round() as u64
+    }
+
+    /// Returns a copy with the NVRAM read/write latency scaled by `factor`
+    /// relative to DRAM latency, as in the Figure 8 sensitivity sweep
+    /// (the x-axis there is "NVRAM latency in multiples of DRAM latency").
+    pub fn with_nvram_latency_multiplier(&self, factor: f64) -> Self {
+        let mut cfg = self.clone();
+        cfg.nvram.read_ns = cfg.dram.read_ns * factor;
+        cfg.nvram.write_ns = cfg.dram.write_ns * factor;
+        cfg
+    }
+
+    /// Returns a copy configured for `threads` active cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_cores(&self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one core is required");
+        let mut cfg = self.clone();
+        cfg.cores = threads;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.freq_ghz, 3.7);
+        assert_eq!(cfg.dtlb_entries, 64);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.ways, 8);
+        assert_eq!(cfg.l1.latency_cycles, 4);
+        assert_eq!(cfg.l2.size_bytes, 256 * 1024);
+        assert_eq!(cfg.l2.latency_cycles, 6);
+        assert_eq!(cfg.l3.size_bytes, 12 * 1024 * 1024);
+        assert_eq!(cfg.l3.ways, 16);
+        assert_eq!(cfg.l3.latency_cycles, 27);
+        assert_eq!(cfg.dram.banks, 64);
+        assert_eq!(cfg.dram.row_buffer_bytes, 1024);
+        assert_eq!(cfg.nvram.banks, 32);
+        assert_eq!(cfg.nvram.row_buffer_bytes, 2048);
+        assert_eq!(cfg.nvram.read_ns, 50.0);
+        assert_eq!(cfg.nvram.write_ns, 200.0);
+    }
+
+    #[test]
+    fn sets_derivation() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.l1.sets(), 32 * 1024 / (8 * 64));
+        assert_eq!(cfg.l3.sets(), 12 * 1024 * 1024 / (16 * 64));
+    }
+
+    #[test]
+    fn ns_to_cycles_rounds() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.ns_to_cycles(50.0), 185);
+        assert_eq!(cfg.ns_to_cycles(200.0), 740);
+    }
+
+    #[test]
+    fn nvram_latency_multiplier_scales_from_dram() {
+        let cfg = MachineConfig::default().with_nvram_latency_multiplier(3.0);
+        assert_eq!(cfg.nvram.read_ns, 150.0);
+        assert_eq!(cfg.nvram.write_ns, 150.0);
+        // x1 means "NVRAM as fast as DRAM" (the paper's leftmost point).
+        let cfg1 = MachineConfig::default().with_nvram_latency_multiplier(1.0);
+        assert_eq!(cfg1.nvram.write_ns, cfg1.dram.write_ns);
+    }
+
+    #[test]
+    fn with_cores_overrides_count() {
+        let cfg = MachineConfig::default().with_cores(1);
+        assert_eq!(cfg.cores, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn with_zero_cores_panics() {
+        let _ = MachineConfig::default().with_cores(0);
+    }
+}

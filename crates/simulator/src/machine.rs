@@ -1,0 +1,531 @@
+//! The simulated machine: cores, cache hierarchy, memory controller glue,
+//! per-core cycle accounting, and the crash/power-cycle boundary.
+//!
+//! Transaction engines drive the machine through line-granularity physical
+//! accesses; virtual→physical translation lives above (in the engines and
+//! the [`Tlb`](crate::tlb::Tlb)) because SSP redirects translation per cache
+//! line.
+
+use crate::addr::{PhysAddr, LINE_SIZE};
+use crate::cache::{AccessResult, CacheHierarchy, CoreId, LineOp};
+use crate::config::MachineConfig;
+use crate::phys::PhysMem;
+use crate::stats::{MachineStats, WriteClass};
+use crate::timing::{AccessKind, MemTiming};
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::addr::PhysAddr;
+/// use ssp_simulator::cache::CoreId;
+/// use ssp_simulator::config::MachineConfig;
+/// use ssp_simulator::machine::Machine;
+/// use ssp_simulator::phys::NVRAM_PPN_BASE;
+/// use ssp_simulator::stats::WriteClass;
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// let addr = PhysAddr::new(NVRAM_PPN_BASE * 4096);
+/// m.write(CoreId::new(0), addr, &[1, 2, 3], false);
+/// let mut buf = [0u8; 3];
+/// m.read(CoreId::new(0), addr, &mut buf);
+/// assert_eq!(buf, [1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: PhysMem,
+    timing: MemTiming,
+    cache: CacheHierarchy,
+    stats: MachineStats,
+    core_cycles: Vec<u64>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let timing = MemTiming::new(&cfg);
+        let cache = CacheHierarchy::new(&cfg);
+        let core_cycles = vec![0; cfg.cores];
+        Self {
+            cfg,
+            mem: PhysMem::new(),
+            timing,
+            cache,
+            stats: MachineStats::new(),
+            core_cycles,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Event counters accumulated so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Mutable access to the counters (engines record their own classes).
+    pub fn stats_mut(&mut self) -> &mut MachineStats {
+        &mut self.stats
+    }
+
+    /// Resets all counters and cycle accounting (but not memory contents);
+    /// used to exclude warm-up phases from measurements.
+    pub fn reset_stats(&mut self) {
+        self.stats = MachineStats::new();
+        for c in &mut self.core_cycles {
+            *c = 0;
+        }
+    }
+
+    /// Cycles executed by `core`.
+    pub fn cycles(&self, core: CoreId) -> u64 {
+        self.core_cycles[core.index()]
+    }
+
+    /// The maximum per-core cycle count — the wall-clock of the run.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.core_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Adds explicit cycles (instruction overhead) to a core.
+    pub fn add_cycles(&mut self, core: CoreId, cycles: u64) {
+        self.core_cycles[core.index()] += cycles;
+    }
+
+    /// Reads `buf.len()` bytes at `addr` through the cache hierarchy.
+    /// The range must lie within one cache line.
+    pub fn read(&mut self, core: CoreId, addr: PhysAddr, buf: &mut [u8]) -> AccessResult {
+        let off = addr.line_offset();
+        assert!(off + buf.len() <= LINE_SIZE, "read crosses line boundary");
+        let mut line = [0u8; LINE_SIZE];
+        let result = self.cache.access(
+            core,
+            addr,
+            LineOp::Read(&mut line),
+            false,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.timing,
+            &mut self.stats,
+        );
+        buf.copy_from_slice(&line[off..off + buf.len()]);
+        self.core_cycles[core.index()] += result.cycles;
+        result
+    }
+
+    /// Writes `data` at `addr` through the cache hierarchy. `tx` marks the
+    /// line transactional (see [`CacheHierarchy`] TX-bit rules). The range
+    /// must lie within one cache line.
+    pub fn write(&mut self, core: CoreId, addr: PhysAddr, data: &[u8], tx: bool) -> AccessResult {
+        let off = addr.line_offset();
+        let result = self.cache.access(
+            core,
+            addr,
+            LineOp::Write { offset: off, data },
+            tx,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.timing,
+            &mut self.stats,
+        );
+        self.core_cycles[core.index()] += result.cycles;
+        result
+    }
+
+    /// Flushes a line to memory (`clwb` + fence share). When `core` is
+    /// given, the persist latency is charged to it divided by the machine's
+    /// persist MLP (consecutive flushes from one commit overlap); `None`
+    /// models background write-back that stays off the critical path.
+    /// Returns `true` if the line was dirty.
+    pub fn flush(&mut self, core: Option<CoreId>, addr: PhysAddr, class: WriteClass) -> bool {
+        match self.cache.flush_line(
+            addr,
+            class,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.timing,
+            &mut self.stats,
+        ) {
+            Some(cycles) => {
+                if let Some(core) = core {
+                    let charged = cycles / self.cfg.persist_mlp.max(1) as u64;
+                    self.core_cycles[core.index()] += charged.max(1);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// SSP line remap: move `core`'s cached copy of `old` to tag `new`.
+    /// Returns `false` if the line was not present in `core`'s L1.
+    pub fn retag(&mut self, core: CoreId, old: PhysAddr, new: PhysAddr) -> Option<AccessResult> {
+        let result = self.cache.retag(
+            core,
+            old,
+            new,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.timing,
+            &mut self.stats,
+        )?;
+        self.core_cycles[core.index()] += result.cycles;
+        Some(result)
+    }
+
+    /// Clears the TX bit on all cached copies of `addr`'s line.
+    pub fn clear_tx(&mut self, addr: PhysAddr) {
+        self.cache.clear_tx(addr);
+    }
+
+    /// Drops all cached copies of `addr`'s line without write-back.
+    pub fn discard_line(&mut self, addr: PhysAddr) {
+        self.cache.discard_line(addr);
+    }
+
+    /// Writes bytes directly to memory, bypassing the cache (the memory
+    /// controller's own writes: journal records, persistent metadata).
+    /// Counts one write of `class` per touched line when targeting NVRAM
+    /// and charges the (MLP-shared) write latency to `core` if given.
+    pub fn persist_bytes(
+        &mut self,
+        core: Option<CoreId>,
+        addr: PhysAddr,
+        data: &[u8],
+        class: WriteClass,
+    ) {
+        // Split page-crossing ranges (the page store is page-granular).
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = PhysAddr::new(addr.raw() + off as u64);
+            let page_left = crate::addr::PAGE_SIZE - a.page_offset();
+            let chunk = page_left.min(data.len() - off);
+            self.mem.write_bytes(a, &data[off..off + chunk]);
+            off += chunk;
+        }
+        let first_line = addr.line_base().raw();
+        let last_line = PhysAddr::new(addr.raw() + data.len().max(1) as u64 - 1)
+            .line_base()
+            .raw();
+        let lines = (last_line - first_line) / LINE_SIZE as u64 + 1;
+        let kind = PhysMem::kind_of_addr(addr);
+        for i in 0..lines {
+            let line_addr = PhysAddr::new(first_line + i * LINE_SIZE as u64);
+            let cycles =
+                self.timing
+                    .access_cycles(&self.cfg, &mut self.stats, kind, line_addr, AccessKind::Write);
+            match kind {
+                crate::timing::MemKind::Dram => self.stats.dram_writes += 1,
+                crate::timing::MemKind::Nvram => self.stats.record_nvram_write(class),
+            }
+            if let Some(c) = core {
+                self.core_cycles[c.index()] +=
+                    (cycles / self.cfg.persist_mlp.max(1) as u64).max(1);
+            }
+        }
+    }
+
+    /// Stores bytes directly to memory without counting line writes or
+    /// charging latency. Pair with [`Machine::account_memory_write`] when
+    /// modelling write-combining buffers that coalesce several small
+    /// appends into one line write.
+    pub fn write_bytes_unaccounted(&mut self, addr: PhysAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = PhysAddr::new(addr.raw() + off as u64);
+            let page_left = crate::addr::PAGE_SIZE - a.page_offset();
+            let chunk = page_left.min(data.len() - off);
+            self.mem.write_bytes(a, &data[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Counts one memory line write of `class` and returns its latency in
+    /// cycles without charging any core (the caller decides who stalls).
+    pub fn account_memory_write(
+        &mut self,
+        kind: crate::timing::MemKind,
+        addr: PhysAddr,
+        class: WriteClass,
+    ) -> u64 {
+        let cycles =
+            self.timing
+                .access_cycles(&self.cfg, &mut self.stats, kind, addr, AccessKind::Write);
+        match kind {
+            crate::timing::MemKind::Dram => self.stats.dram_writes += 1,
+            crate::timing::MemKind::Nvram => self.stats.record_nvram_write(class),
+        }
+        cycles
+    }
+
+    /// Reads bytes directly from memory, bypassing the cache (memory
+    /// controller metadata reads, recovery). Page-crossing ranges are
+    /// split internally.
+    pub fn read_bytes_uncached(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let len = buf.len();
+        let mut off = 0usize;
+        while off < len {
+            let a = PhysAddr::new(addr.raw() + off as u64);
+            let page_left = crate::addr::PAGE_SIZE - a.page_offset();
+            let chunk = page_left.min(len - off);
+            self.mem.read_bytes(a, &mut buf[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Writes a line to NVRAM (counted as `class`) and leaves a clean copy
+    /// resident in the shared L3 — the effect of a background OS thread
+    /// copying through the cache and flushing with `clwb`. Returns any
+    /// dirty TX lines displaced by set pressure.
+    pub fn install_line_cached(
+        &mut self,
+        addr: PhysAddr,
+        data: [u8; LINE_SIZE],
+        class: WriteClass,
+    ) -> AccessResult {
+        let kind = PhysMem::kind_of_addr(addr);
+        let _ = self
+            .timing
+            .access_cycles(&self.cfg, &mut self.stats, kind, addr, AccessKind::Write);
+        match kind {
+            crate::timing::MemKind::Dram => self.stats.dram_writes += 1,
+            crate::timing::MemKind::Nvram => self.stats.record_nvram_write(class),
+        }
+        self.mem.write_line(addr.ppn(), addr.line_index(), &data);
+        self.cache.install_line_l3(
+            addr,
+            data,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.timing,
+            &mut self.stats,
+        )
+    }
+
+    /// Reads a full line directly from memory (uncached).
+    pub fn read_line_uncached(&mut self, addr: PhysAddr) -> [u8; LINE_SIZE] {
+        let kind = PhysMem::kind_of_addr(addr);
+        let _ = self
+            .timing
+            .access_cycles(&self.cfg, &mut self.stats, kind, addr, AccessKind::Read);
+        if kind == crate::timing::MemKind::Nvram {
+            self.stats.nvram_reads += 1;
+        } else {
+            self.stats.dram_reads += 1;
+        }
+        self.mem.read_line(addr.ppn(), addr.line_index())
+    }
+
+    /// Copies whole-line data directly between physical lines in memory
+    /// (consolidation's DMA-style copy). Counts reads and writes.
+    pub fn copy_line_uncached(&mut self, from: PhysAddr, to: PhysAddr, class: WriteClass) {
+        let data = self.mem.read_line(from.ppn(), from.line_index());
+        let _ = self.timing.access_cycles(
+            &self.cfg,
+            &mut self.stats,
+            PhysMem::kind_of_addr(from),
+            from,
+            AccessKind::Read,
+        );
+        if PhysMem::kind_of_addr(from) == crate::timing::MemKind::Nvram {
+            self.stats.nvram_reads += 1;
+        } else {
+            self.stats.dram_reads += 1;
+        }
+        let _ = self.timing.access_cycles(
+            &self.cfg,
+            &mut self.stats,
+            PhysMem::kind_of_addr(to),
+            to,
+            AccessKind::Write,
+        );
+        match PhysMem::kind_of_addr(to) {
+            crate::timing::MemKind::Dram => self.stats.dram_writes += 1,
+            crate::timing::MemKind::Nvram => self.stats.record_nvram_write(class),
+        }
+        self.mem.write_line(to.ppn(), to.line_index(), &data);
+    }
+
+    /// The freshest visible value of a full line, preferring any dirty
+    /// cached copy over memory — used by recovery *tests* and debugging,
+    /// not by engines (they must go through `read`).
+    pub fn peek_line_coherent(&mut self, core: CoreId, addr: PhysAddr) -> [u8; LINE_SIZE] {
+        let mut buf = [0u8; LINE_SIZE];
+        let r = self.cache.access(
+            core,
+            addr,
+            LineOp::Read(&mut buf),
+            false,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.timing,
+            &mut self.stats,
+        );
+        self.core_cycles[core.index()] += r.cycles;
+        buf
+    }
+
+    /// Counts coherence traffic for a TLB-metadata broadcast (the paper's
+    /// `flip-current-bit` message) and charges its latency.
+    pub fn broadcast_flip(&mut self, core: CoreId) {
+        self.stats.flip_broadcasts += 1;
+        self.core_cycles[core.index()] += self.cfg.coherence_broadcast_cycles;
+    }
+
+    /// Records a TLB miss on the persistent heap.
+    pub fn record_tlb_miss(&mut self, core: CoreId) {
+        self.stats.tlb_misses += 1;
+        self.core_cycles[core.index()] += self.cfg.page_walk_cycles;
+    }
+
+    /// Simulated power failure: all caches, row buffers, cycle accounting
+    /// and DRAM contents are lost; NVRAM survives.
+    pub fn crash(&mut self) {
+        self.cache.crash();
+        self.timing.reset();
+        self.mem.crash();
+        for c in &mut self.core_cycles {
+            *c = 0;
+        }
+    }
+
+    /// Number of dirty lines still cached (diagnostics; should be zero
+    /// after quiescing flushes in tests).
+    pub fn dirty_cached_lines(&self) -> usize {
+        self.cache.dirty_lines()
+    }
+
+    /// Number of materialised NVRAM frames (capacity accounting for the
+    /// consolidation experiments).
+    pub fn resident_nvram_frames(&self) -> usize {
+        self.mem.resident_nvram_frames()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::NVRAM_PPN_BASE;
+
+    fn nv(page: u64, off: u64) -> PhysAddr {
+        PhysAddr::new((NVRAM_PPN_BASE + page) * 4096 + off)
+    }
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn write_read_round_trip_charges_cycles() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.write(c, nv(0, 128), &[9, 8, 7], false);
+        let mut buf = [0u8; 3];
+        m.read(c, nv(0, 128), &mut buf);
+        assert_eq!(buf, [9, 8, 7]);
+        assert!(m.cycles(c) > 0);
+        assert_eq!(m.cycles(CoreId::new(1)), 0);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_writes() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.write(c, nv(1, 0), &[0xaa], false);
+        m.crash();
+        let mut buf = [0u8; 1];
+        m.read(c, nv(1, 0), &mut buf);
+        assert_eq!(buf, [0]);
+    }
+
+    #[test]
+    fn flush_makes_writes_durable() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.write(c, nv(2, 0), &[0xbb], false);
+        assert!(m.flush(Some(c), nv(2, 0), WriteClass::Data));
+        m.crash();
+        let mut buf = [0u8; 1];
+        m.read(c, nv(2, 0), &mut buf);
+        assert_eq!(buf, [0xbb]);
+    }
+
+    #[test]
+    fn persist_bytes_is_durable_and_counted() {
+        let mut m = machine();
+        m.persist_bytes(None, nv(3, 32), &[1, 2, 3, 4], WriteClass::MetaJournal);
+        assert_eq!(m.stats().nvram_writes(WriteClass::MetaJournal), 1);
+        m.crash();
+        let mut buf = [0u8; 4];
+        m.read_bytes_uncached(nv(3, 32), &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn persist_bytes_counts_per_line() {
+        let mut m = machine();
+        // 100 bytes starting at offset 32 touch lines 0 and 1 and 2.
+        m.persist_bytes(None, nv(4, 32), &[0u8; 100], WriteClass::Log);
+        assert_eq!(m.stats().nvram_writes(WriteClass::Log), 3);
+    }
+
+    #[test]
+    fn elapsed_is_max_over_cores() {
+        let mut m = machine();
+        m.add_cycles(CoreId::new(0), 10);
+        m.add_cycles(CoreId::new(1), 25);
+        assert_eq!(m.elapsed_cycles(), 25);
+    }
+
+    #[test]
+    fn broadcast_and_tlb_miss_counters() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.broadcast_flip(c);
+        m.record_tlb_miss(c);
+        assert_eq!(m.stats().flip_broadcasts, 1);
+        assert_eq!(m.stats().tlb_misses, 1);
+        assert!(m.cycles(c) > 0);
+    }
+
+    #[test]
+    fn copy_line_uncached_moves_data() {
+        let mut m = machine();
+        m.persist_bytes(None, nv(5, 0), &[7u8; 64], WriteClass::Other);
+        m.copy_line_uncached(nv(5, 0), nv(6, 0), WriteClass::Consolidation);
+        let mut buf = [0u8; 64];
+        m.read_bytes_uncached(nv(6, 0), &mut buf);
+        assert_eq!(buf, [7u8; 64]);
+        assert_eq!(m.stats().nvram_writes(WriteClass::Consolidation), 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_and_cycles() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.write(c, nv(7, 0), &[1], false);
+        m.reset_stats();
+        assert_eq!(m.elapsed_cycles(), 0);
+        assert_eq!(m.stats().nvram_writes_total(), 0);
+        // Data written before the reset is still there.
+        let mut buf = [0u8; 1];
+        m.read(c, nv(7, 0), &mut buf);
+        assert_eq!(buf, [1]);
+    }
+
+    #[test]
+    fn retag_through_machine() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.write(c, nv(8, 0), &[0x5a], true);
+        assert!(m.retag(c, nv(8, 0), nv(9, 0)).is_some());
+        let mut buf = [0u8; 1];
+        m.read(c, nv(9, 0), &mut buf);
+        assert_eq!(buf, [0x5a]);
+    }
+}

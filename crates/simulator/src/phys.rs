@@ -1,0 +1,224 @@
+//! Physical memory: page frames split into a volatile DRAM region and a
+//! persistent NVRAM region.
+//!
+//! The contents of `PhysMem` are the *memory-side* truth: data still sitting
+//! dirty in a cache has not reached these frames yet. A simulated power
+//! failure ([`PhysMem::crash`]) therefore simply discards the DRAM region;
+//! the NVRAM region is exactly what recovery code gets to see.
+
+use std::collections::HashMap;
+
+use crate::addr::{LineIdx, PhysAddr, Ppn, LINE_SIZE, PAGE_SIZE};
+use crate::timing::MemKind;
+
+/// First physical page number of the NVRAM region. Frames below this are
+/// DRAM, frames at or above are NVRAM.
+pub const NVRAM_PPN_BASE: u64 = 1 << 20; // 4 GiB into the physical space
+
+/// One 4 KiB page frame.
+pub type PageFrame = Box<[u8; PAGE_SIZE]>;
+
+fn zeroed_frame() -> PageFrame {
+    // A boxed array this size would blow the stack if built by value first;
+    // build from a heap vec instead.
+    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap()
+}
+
+/// Sparse physical memory with DRAM and NVRAM regions.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::addr::{LineIdx, Ppn};
+/// use ssp_simulator::phys::{PhysMem, NVRAM_PPN_BASE};
+///
+/// let mut mem = PhysMem::new();
+/// let nv = Ppn::new(NVRAM_PPN_BASE);
+/// mem.write_line(nv, LineIdx::new(0), &[7u8; 64]);
+/// mem.crash();
+/// assert_eq!(mem.read_line(nv, LineIdx::new(0))[0], 7); // survived
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, PageFrame>,
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory. Frames are materialised (zeroed) on
+    /// first touch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns which technology backs a page frame.
+    pub fn kind_of(ppn: Ppn) -> MemKind {
+        if ppn.raw() >= NVRAM_PPN_BASE {
+            MemKind::Nvram
+        } else {
+            MemKind::Dram
+        }
+    }
+
+    /// Returns which technology backs a physical address.
+    pub fn kind_of_addr(addr: PhysAddr) -> MemKind {
+        Self::kind_of(addr.ppn())
+    }
+
+    /// Reads one cache line.
+    pub fn read_line(&self, ppn: Ppn, line: LineIdx) -> [u8; LINE_SIZE] {
+        let mut buf = [0u8; LINE_SIZE];
+        if let Some(frame) = self.frames.get(&ppn.raw()) {
+            let off = line.byte_offset();
+            buf.copy_from_slice(&frame[off..off + LINE_SIZE]);
+        }
+        buf
+    }
+
+    /// Writes one cache line.
+    pub fn write_line(&mut self, ppn: Ppn, line: LineIdx, data: &[u8; LINE_SIZE]) {
+        let frame = self.frames.entry(ppn.raw()).or_insert_with(zeroed_frame);
+        let off = line.byte_offset();
+        frame[off..off + LINE_SIZE].copy_from_slice(data);
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. The range may span lines
+    /// but must not span pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a page boundary.
+    pub fn read_bytes(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let off = addr.page_offset();
+        assert!(off + buf.len() <= PAGE_SIZE, "read crosses page boundary");
+        match self.frames.get(&addr.ppn().raw()) {
+            Some(frame) => buf.copy_from_slice(&frame[off..off + buf.len()]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Writes `data` starting at `addr`. The range may span lines but must
+    /// not span pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a page boundary.
+    pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) {
+        let off = addr.page_offset();
+        assert!(off + data.len() <= PAGE_SIZE, "write crosses page boundary");
+        let frame = self
+            .frames
+            .entry(addr.ppn().raw())
+            .or_insert_with(zeroed_frame);
+        frame[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies one whole page frame (used by consolidation tests and
+    /// page-granularity shadow paging).
+    pub fn copy_page(&mut self, from: Ppn, to: Ppn) {
+        let src = match self.frames.get(&from.raw()) {
+            Some(frame) => frame.clone(),
+            None => zeroed_frame(),
+        };
+        self.frames.insert(to.raw(), src);
+    }
+
+    /// Simulates a power failure: every DRAM frame is discarded; NVRAM
+    /// frames are untouched.
+    pub fn crash(&mut self) {
+        self.frames.retain(|&ppn, _| ppn >= NVRAM_PPN_BASE);
+    }
+
+    /// Number of frames currently materialised (for capacity accounting).
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of materialised NVRAM frames.
+    pub fn resident_nvram_frames(&self) -> usize {
+        self.frames.keys().filter(|&&p| p >= NVRAM_PPN_BASE).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nv(n: u64) -> Ppn {
+        Ppn::new(NVRAM_PPN_BASE + n)
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = PhysMem::new();
+        assert_eq!(mem.read_line(nv(0), LineIdx::new(5)), [0u8; 64]);
+    }
+
+    #[test]
+    fn line_write_read_round_trip() {
+        let mut mem = PhysMem::new();
+        let data = [0xabu8; 64];
+        mem.write_line(nv(1), LineIdx::new(3), &data);
+        assert_eq!(mem.read_line(nv(1), LineIdx::new(3)), data);
+        // Neighbouring line untouched.
+        assert_eq!(mem.read_line(nv(1), LineIdx::new(4)), [0u8; 64]);
+    }
+
+    #[test]
+    fn byte_access_within_page() {
+        let mut mem = PhysMem::new();
+        let addr = PhysAddr::new(nv(2).base().raw() + 100);
+        mem.write_bytes(addr, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        mem.read_bytes(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses page boundary")]
+    fn cross_page_write_panics() {
+        let mut mem = PhysMem::new();
+        let addr = PhysAddr::new(nv(0).base().raw() + PAGE_SIZE as u64 - 2);
+        mem.write_bytes(addr, &[0u8; 4]);
+    }
+
+    #[test]
+    fn crash_discards_dram_keeps_nvram() {
+        let mut mem = PhysMem::new();
+        let dram = Ppn::new(10);
+        mem.write_line(dram, LineIdx::new(0), &[1u8; 64]);
+        mem.write_line(nv(0), LineIdx::new(0), &[2u8; 64]);
+        mem.crash();
+        assert_eq!(mem.read_line(dram, LineIdx::new(0)), [0u8; 64]);
+        assert_eq!(mem.read_line(nv(0), LineIdx::new(0)), [2u8; 64]);
+    }
+
+    #[test]
+    fn kind_of_regions() {
+        assert_eq!(PhysMem::kind_of(Ppn::new(0)), MemKind::Dram);
+        assert_eq!(PhysMem::kind_of(Ppn::new(NVRAM_PPN_BASE)), MemKind::Nvram);
+        assert_eq!(
+            PhysMem::kind_of_addr(Ppn::new(NVRAM_PPN_BASE).base()),
+            MemKind::Nvram
+        );
+    }
+
+    #[test]
+    fn copy_page_duplicates_contents() {
+        let mut mem = PhysMem::new();
+        mem.write_line(nv(0), LineIdx::new(7), &[9u8; 64]);
+        mem.copy_page(nv(0), nv(1));
+        assert_eq!(mem.read_line(nv(1), LineIdx::new(7)), [9u8; 64]);
+        // Copy is by value: further writes to the source do not alias.
+        mem.write_line(nv(0), LineIdx::new(7), &[1u8; 64]);
+        assert_eq!(mem.read_line(nv(1), LineIdx::new(7)), [9u8; 64]);
+    }
+
+    #[test]
+    fn resident_frame_accounting() {
+        let mut mem = PhysMem::new();
+        mem.write_line(Ppn::new(1), LineIdx::new(0), &[1u8; 64]);
+        mem.write_line(nv(0), LineIdx::new(0), &[1u8; 64]);
+        assert_eq!(mem.resident_frames(), 2);
+        assert_eq!(mem.resident_nvram_frames(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Machine-wide event counters.
+//!
+//! Every NVRAM write is attributed to a [`WriteClass`] so the harness can
+//! reproduce Figure 6 (logging writes), Figure 7a (total NVRAM writes) and
+//! Figure 7b (SSP write breakdown) directly from these counters.
+
+use std::fmt;
+
+/// The reason a cache line (or smaller record) was written to NVRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteClass {
+    /// Application data written back (cache eviction or explicit flush).
+    Data,
+    /// Undo/redo log entries written by a logging engine.
+    Log,
+    /// SSP metadata-journal records.
+    MetaJournal,
+    /// Lines copied by SSP page consolidation.
+    Consolidation,
+    /// Persistent SSP-cache updates performed by checkpointing.
+    Checkpoint,
+    /// Full-page copies performed by conventional shadow paging.
+    PageCopy,
+    /// Anything else (page-table updates, allocator metadata, ...).
+    Other,
+}
+
+impl WriteClass {
+    /// All classes, in display order.
+    pub const ALL: [WriteClass; 7] = [
+        WriteClass::Data,
+        WriteClass::Log,
+        WriteClass::MetaJournal,
+        WriteClass::Consolidation,
+        WriteClass::Checkpoint,
+        WriteClass::PageCopy,
+        WriteClass::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            WriteClass::Data => 0,
+            WriteClass::Log => 1,
+            WriteClass::MetaJournal => 2,
+            WriteClass::Consolidation => 3,
+            WriteClass::Checkpoint => 4,
+            WriteClass::PageCopy => 5,
+            WriteClass::Other => 6,
+        }
+    }
+}
+
+impl fmt::Display for WriteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WriteClass::Data => "data",
+            WriteClass::Log => "log",
+            WriteClass::MetaJournal => "meta-journal",
+            WriteClass::Consolidation => "consolidation",
+            WriteClass::Checkpoint => "checkpoint",
+            WriteClass::PageCopy => "page-copy",
+            WriteClass::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Aggregated event counters for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    nvram_writes: [u64; 7],
+    /// NVRAM line reads.
+    pub nvram_reads: u64,
+    /// DRAM line writes.
+    pub dram_writes: u64,
+    /// DRAM line reads.
+    pub dram_reads: u64,
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that hit in L2).
+    pub l2_hits: u64,
+    /// L3 hits (L2 misses that hit in L3).
+    pub l3_hits: u64,
+    /// Accesses served by main memory.
+    pub mem_accesses: u64,
+    /// DTLB misses on the persistent heap (the paper counts only these).
+    pub tlb_misses: u64,
+    /// `flip-current-bit` broadcasts on the coherence network.
+    pub flip_broadcasts: u64,
+    /// Ordinary coherence invalidations/downgrades.
+    pub coherence_invalidations: u64,
+    /// Cache-line write-backs that reached memory.
+    pub writebacks: u64,
+    /// Row-buffer hits in the memory timing model.
+    pub row_hits: u64,
+    /// Row-buffer misses in the memory timing model.
+    pub row_misses: u64,
+}
+
+impl MachineStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one NVRAM line write of the given class.
+    pub fn record_nvram_write(&mut self, class: WriteClass) {
+        self.nvram_writes[class.index()] += 1;
+    }
+
+    /// Records `n` NVRAM line writes of the given class.
+    pub fn record_nvram_writes(&mut self, class: WriteClass, n: u64) {
+        self.nvram_writes[class.index()] += n;
+    }
+
+    /// Number of NVRAM line writes of one class.
+    pub fn nvram_writes(&self, class: WriteClass) -> u64 {
+        self.nvram_writes[class.index()]
+    }
+
+    /// Total NVRAM line writes across all classes.
+    pub fn nvram_writes_total(&self) -> u64 {
+        self.nvram_writes.iter().sum()
+    }
+
+    /// NVRAM writes that are *extra* relative to the application's own data:
+    /// everything except [`WriteClass::Data`].
+    pub fn nvram_writes_extra(&self) -> u64 {
+        self.nvram_writes_total() - self.nvram_writes(WriteClass::Data)
+    }
+
+    /// "Logging writes" in the sense of Figure 6: log entries plus SSP's
+    /// metadata-journal records (the writes each design performs to be able
+    /// to recover, excluding the data itself).
+    pub fn logging_writes(&self) -> u64 {
+        self.nvram_writes(WriteClass::Log) + self.nvram_writes(WriteClass::MetaJournal)
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &MachineStats) {
+        for class in WriteClass::ALL {
+            self.nvram_writes[class.index()] += other.nvram_writes[class.index()];
+        }
+        self.nvram_reads += other.nvram_reads;
+        self.dram_writes += other.dram_writes;
+        self.dram_reads += other.dram_reads;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.l3_hits += other.l3_hits;
+        self.mem_accesses += other.mem_accesses;
+        self.tlb_misses += other.tlb_misses;
+        self.flip_broadcasts += other.flip_broadcasts;
+        self.coherence_invalidations += other.coherence_invalidations;
+        self.writebacks += other.writebacks;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NVRAM writes by class:")?;
+        for class in WriteClass::ALL {
+            let n = self.nvram_writes(class);
+            if n != 0 {
+                writeln!(f, "  {class:<14} {n}")?;
+            }
+        }
+        writeln!(f, "  total          {}", self.nvram_writes_total())?;
+        writeln!(
+            f,
+            "cache: L1 {} / L2 {} / L3 {} / mem {}",
+            self.l1_hits, self.l2_hits, self.l3_hits, self.mem_accesses
+        )?;
+        write!(
+            f,
+            "tlb misses {} | flips {} | writebacks {}",
+            self.tlb_misses, self.flip_broadcasts, self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_classes_accumulate_independently() {
+        let mut s = MachineStats::new();
+        s.record_nvram_write(WriteClass::Data);
+        s.record_nvram_writes(WriteClass::Log, 3);
+        s.record_nvram_write(WriteClass::MetaJournal);
+        assert_eq!(s.nvram_writes(WriteClass::Data), 1);
+        assert_eq!(s.nvram_writes(WriteClass::Log), 3);
+        assert_eq!(s.nvram_writes_total(), 5);
+        assert_eq!(s.nvram_writes_extra(), 4);
+        assert_eq!(s.logging_writes(), 4);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = MachineStats::new();
+        a.record_nvram_write(WriteClass::Data);
+        a.tlb_misses = 2;
+        let mut b = MachineStats::new();
+        b.record_nvram_writes(WriteClass::Consolidation, 4);
+        b.tlb_misses = 3;
+        b.flip_broadcasts = 7;
+        a.merge(&b);
+        assert_eq!(a.nvram_writes_total(), 5);
+        assert_eq!(a.tlb_misses, 5);
+        assert_eq!(a.flip_broadcasts, 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = MachineStats::new();
+        s.record_nvram_write(WriteClass::Data);
+        let text = s.to_string();
+        assert!(text.contains("data"));
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn all_classes_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for class in WriteClass::ALL {
+            assert!(seen.insert(class.index()));
+        }
+    }
+}

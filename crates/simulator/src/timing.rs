@@ -1,0 +1,206 @@
+//! Memory timing model (DRAMSim2 substitute).
+//!
+//! Models a hybrid memory system with a DRAM channel and an NVRAM channel on
+//! the same bus. Each channel has a set of banks with open-row buffers: an
+//! access that hits the currently open row pays only the array latency, a
+//! miss additionally pays an activate/precharge penalty. This reproduces the
+//! first-order latency structure the paper gets from DRAMSim2 without a
+//! cycle-accurate DRAM command scheduler.
+
+use crate::addr::PhysAddr;
+use crate::config::{MachineConfig, MemTechConfig};
+use crate::stats::MachineStats;
+
+/// Which memory technology an access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Volatile DRAM: contents are lost on a crash.
+    Dram,
+    /// Non-volatile RAM: contents survive a crash.
+    Nvram,
+}
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Line read.
+    Read,
+    /// Line write (write-back or persist).
+    Write,
+}
+
+/// Per-bank open-row state for one channel.
+#[derive(Debug, Clone)]
+struct Channel {
+    tech: MemTechConfig,
+    open_rows: Vec<Option<u64>>,
+}
+
+impl Channel {
+    fn new(tech: MemTechConfig) -> Self {
+        let banks = tech.banks.max(1);
+        Self {
+            tech,
+            open_rows: vec![None; banks],
+        }
+    }
+
+    /// Returns the latency of the access in nanoseconds and whether the
+    /// access hit the open row buffer.
+    fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> (f64, bool) {
+        let row_bytes = self.tech.row_buffer_bytes.max(1) as u64;
+        let row = addr.raw() / row_bytes;
+        let bank = (row % self.open_rows.len() as u64) as usize;
+        let hit = self.open_rows[bank] == Some(row);
+        self.open_rows[bank] = Some(row);
+        let base = match kind {
+            AccessKind::Read => self.tech.read_ns,
+            AccessKind::Write => self.tech.write_ns,
+        };
+        let ns = if hit {
+            base
+        } else {
+            base + self.tech.row_miss_penalty_ns
+        };
+        (ns, hit)
+    }
+
+    fn reset_rows(&mut self) {
+        for r in &mut self.open_rows {
+            *r = None;
+        }
+    }
+}
+
+/// The memory subsystem: one DRAM channel and one NVRAM channel.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::addr::PhysAddr;
+/// use ssp_simulator::config::MachineConfig;
+/// use ssp_simulator::stats::MachineStats;
+/// use ssp_simulator::timing::{AccessKind, MemKind, MemTiming};
+///
+/// let cfg = MachineConfig::default();
+/// let mut timing = MemTiming::new(&cfg);
+/// let mut stats = MachineStats::new();
+/// let cycles = timing.access_cycles(
+///     &cfg, &mut stats, MemKind::Nvram, PhysAddr::new(0), AccessKind::Write);
+/// assert!(cycles >= cfg.ns_to_cycles(cfg.nvram.write_ns));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemTiming {
+    dram: Channel,
+    nvram: Channel,
+}
+
+impl MemTiming {
+    /// Creates the timing model from a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Self {
+            dram: Channel::new(cfg.dram),
+            nvram: Channel::new(cfg.nvram),
+        }
+    }
+
+    /// Performs one line access and returns its latency in core cycles.
+    /// Row-buffer hit/miss counters are recorded into `stats`.
+    pub fn access_cycles(
+        &mut self,
+        cfg: &MachineConfig,
+        stats: &mut MachineStats,
+        mem: MemKind,
+        addr: PhysAddr,
+        kind: AccessKind,
+    ) -> u64 {
+        let channel = match mem {
+            MemKind::Dram => &mut self.dram,
+            MemKind::Nvram => &mut self.nvram,
+        };
+        let (ns, hit) = channel.access(addr, kind);
+        if hit {
+            stats.row_hits += 1;
+        } else {
+            stats.row_misses += 1;
+        }
+        cfg.ns_to_cycles(ns)
+    }
+
+    /// Clears all open-row buffers (used after a simulated power cycle).
+    pub fn reset(&mut self) {
+        self.dram.reset_rows();
+        self.nvram.reset_rows();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineConfig, MemTiming, MachineStats) {
+        let cfg = MachineConfig::default();
+        let timing = MemTiming::new(&cfg);
+        (cfg, timing, MachineStats::new())
+    }
+
+    #[test]
+    fn nvram_write_slower_than_read() {
+        let (cfg, mut t, mut s) = setup();
+        let addr = PhysAddr::new(0x1000);
+        // Prime the row so both accesses are row hits.
+        t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Read);
+        let r = t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Read);
+        let w = t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Write);
+        assert!(w > r, "NVRAM write ({w}) should exceed read ({r})");
+    }
+
+    #[test]
+    fn row_buffer_hit_is_cheaper() {
+        let (cfg, mut t, mut s) = setup();
+        let addr = PhysAddr::new(0);
+        let first = t.access_cycles(&cfg, &mut s, MemKind::Dram, addr, AccessKind::Read);
+        let second = t.access_cycles(&cfg, &mut s, MemKind::Dram, addr, AccessKind::Read);
+        assert!(second < first);
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.row_misses, 1);
+    }
+
+    #[test]
+    fn distinct_rows_conflict_in_same_bank() {
+        let (cfg, mut t, mut s) = setup();
+        let row_bytes = cfg.dram.row_buffer_bytes as u64;
+        let banks = cfg.dram.banks as u64;
+        let a = PhysAddr::new(0);
+        // Same bank (row difference is a multiple of the bank count), so
+        // alternating accesses never hit the row buffer.
+        let b = PhysAddr::new(row_bytes * banks);
+        for _ in 0..3 {
+            t.access_cycles(&cfg, &mut s, MemKind::Dram, a, AccessKind::Read);
+            t.access_cycles(&cfg, &mut s, MemKind::Dram, b, AccessKind::Read);
+        }
+        assert_eq!(s.row_hits, 0);
+        assert_eq!(s.row_misses, 6);
+    }
+
+    #[test]
+    fn reset_clears_open_rows() {
+        let (cfg, mut t, mut s) = setup();
+        let addr = PhysAddr::new(0x40);
+        t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Read);
+        t.reset();
+        t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Read);
+        assert_eq!(s.row_hits, 0);
+        assert_eq!(s.row_misses, 2);
+    }
+
+    #[test]
+    fn dram_and_nvram_channels_are_independent() {
+        let (cfg, mut t, mut s) = setup();
+        let addr = PhysAddr::new(0);
+        t.access_cycles(&cfg, &mut s, MemKind::Dram, addr, AccessKind::Read);
+        // The NVRAM channel has not opened this row yet.
+        t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Read);
+        assert_eq!(s.row_misses, 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! A fully-associative, LRU data TLB with a per-entry extension payload.
+//!
+//! SSP widens TLB entries with the second physical page number and the
+//! current/updated bitmaps (Section 4.1.1 of the paper). The simulator keeps
+//! the TLB generic over that extension type `E` so the substrate stays free
+//! of SSP knowledge; baseline engines instantiate `Tlb<()>`.
+
+use crate::addr::{Ppn, Vpn};
+
+/// One TLB entry: a translation plus an engine-defined extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbEntry<E> {
+    /// The virtual page this entry translates.
+    pub vpn: Vpn,
+    /// The (original, P0) physical page.
+    pub ppn: Ppn,
+    /// Engine-defined extension payload.
+    pub ext: E,
+}
+
+/// A fully-associative TLB with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::addr::{Ppn, Vpn};
+/// use ssp_simulator::tlb::Tlb;
+///
+/// let mut tlb: Tlb<()> = Tlb::new(2);
+/// assert!(tlb.insert(Vpn::new(1), Ppn::new(10), ()).is_none());
+/// assert!(tlb.insert(Vpn::new(2), Ppn::new(20), ()).is_none());
+/// // Touch vpn 1 so vpn 2 becomes the LRU victim.
+/// assert!(tlb.lookup(Vpn::new(1)).is_some());
+/// let evicted = tlb.insert(Vpn::new(3), Ppn::new(30), ()).unwrap();
+/// assert_eq!(evicted.vpn, Vpn::new(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb<E> {
+    capacity: usize,
+    /// MRU-first.
+    entries: Vec<TlbEntry<E>>,
+}
+
+impl<E> Tlb<E> {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of entries the TLB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a translation, promoting it to MRU on a hit.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<&mut TlbEntry<E>> {
+        let pos = self.entries.iter().position(|e| e.vpn == vpn)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&mut self.entries[0])
+    }
+
+    /// Looks up a translation without changing LRU order.
+    pub fn peek(&self, vpn: Vpn) -> Option<&TlbEntry<E>> {
+        self.entries.iter().find(|e| e.vpn == vpn)
+    }
+
+    /// Inserts a translation, returning the evicted LRU entry if full.
+    /// Replaces (and returns `None` for) an existing entry for `vpn`.
+    pub fn insert(&mut self, vpn: Vpn, ppn: Ppn, ext: E) -> Option<TlbEntry<E>> {
+        if let Some(pos) = self.entries.iter().position(|e| e.vpn == vpn) {
+            self.entries.remove(pos);
+            self.entries.insert(0, TlbEntry { vpn, ppn, ext });
+            return None;
+        }
+        self.entries.insert(0, TlbEntry { vpn, ppn, ext });
+        if self.entries.len() > self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the entry for `vpn`, if present.
+    pub fn evict(&mut self, vpn: Vpn) -> Option<TlbEntry<E>> {
+        let pos = self.entries.iter().position(|e| e.vpn == vpn)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Removes all entries, returning them (power failure or full flush).
+    pub fn drain(&mut self) -> Vec<TlbEntry<E>> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Iterates over entries in MRU-first order.
+    pub fn iter(&self) -> impl Iterator<Item = &TlbEntry<E>> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over entries in MRU-first order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut TlbEntry<E>> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(cap: usize) -> Tlb<u32> {
+        Tlb::new(cap)
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let mut t = tlb(4);
+        assert!(t.lookup(Vpn::new(9)).is_none());
+    }
+
+    #[test]
+    fn insert_then_lookup_hit() {
+        let mut t = tlb(4);
+        t.insert(Vpn::new(1), Ppn::new(100), 7);
+        let e = t.lookup(Vpn::new(1)).unwrap();
+        assert_eq!(e.ppn, Ppn::new(100));
+        assert_eq!(e.ext, 7);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = tlb(3);
+        for i in 1..=3 {
+            t.insert(Vpn::new(i), Ppn::new(i * 10), 0);
+        }
+        t.lookup(Vpn::new(1)); // 1 is MRU; 2 is LRU
+        let evicted = t.insert(Vpn::new(4), Ppn::new(40), 0).unwrap();
+        assert_eq!(evicted.vpn, Vpn::new(2));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut t = tlb(2);
+        t.insert(Vpn::new(1), Ppn::new(10), 0);
+        t.insert(Vpn::new(2), Ppn::new(20), 0);
+        assert!(t.insert(Vpn::new(1), Ppn::new(11), 5).is_none());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.peek(Vpn::new(1)).unwrap().ppn, Ppn::new(11));
+    }
+
+    #[test]
+    fn evict_removes_specific_entry() {
+        let mut t = tlb(4);
+        t.insert(Vpn::new(1), Ppn::new(10), 1);
+        t.insert(Vpn::new(2), Ppn::new(20), 2);
+        let e = t.evict(Vpn::new(1)).unwrap();
+        assert_eq!(e.ext, 1);
+        assert!(t.peek(Vpn::new(1)).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_the_tlb() {
+        let mut t = tlb(4);
+        t.insert(Vpn::new(1), Ppn::new(10), 0);
+        t.insert(Vpn::new(2), Ppn::new(20), 0);
+        let all = t.drain();
+        assert_eq!(all.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ext_payload_is_mutable_through_lookup() {
+        let mut t = tlb(2);
+        t.insert(Vpn::new(1), Ppn::new(10), 0);
+        t.lookup(Vpn::new(1)).unwrap().ext = 99;
+        assert_eq!(t.peek(Vpn::new(1)).unwrap().ext, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::<()>::new(0);
+    }
+}

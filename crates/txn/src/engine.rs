@@ -1,0 +1,316 @@
+//! The transaction-engine interface — the simulated ISA extension.
+//!
+//! The paper extends the ISA with `ATOMIC_BEGIN`, `ATOMIC_STORE` and
+//! `ATOMIC_END` (Section 3.1). Workloads in this reproduction call the
+//! corresponding methods of [`TxnEngine`]; each engine (SSP, UNDO-LOG,
+//! REDO-LOG, shadow paging) implements them with its own persistence
+//! machinery over the shared [`ssp_simulator::Machine`].
+
+use std::collections::HashSet;
+
+use ssp_simulator::addr::{VirtAddr, Vpn, LINE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::machine::Machine;
+
+/// Globally unique transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// One span of a byte range clipped to a single cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineSpan {
+    /// Start address of the span (within one line).
+    pub addr: VirtAddr,
+    /// Offset of the span within the caller's buffer.
+    pub buf_offset: usize,
+    /// Length of the span in bytes.
+    pub len: usize,
+}
+
+/// Splits `[addr, addr + len)` into per-cache-line spans.
+///
+/// Engines use this so [`TxnEngine::load`]/[`TxnEngine::store`] accept
+/// arbitrary ranges while the hardware model stays line-granular.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::addr::VirtAddr;
+/// use ssp_txn::engine::line_spans;
+///
+/// let spans: Vec<_> = line_spans(VirtAddr::new(60), 8).collect();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[0].len, 4);
+/// assert_eq!(spans[1].len, 4);
+/// assert_eq!(spans[1].buf_offset, 4);
+/// ```
+pub fn line_spans(addr: VirtAddr, len: usize) -> impl Iterator<Item = LineSpan> {
+    let mut cursor = addr.raw();
+    let end = addr.raw() + len as u64;
+    std::iter::from_fn(move || {
+        if cursor >= end {
+            return None;
+        }
+        let line_end = (cursor | (LINE_SIZE as u64 - 1)) + 1;
+        let span_end = line_end.min(end);
+        let span = LineSpan {
+            addr: VirtAddr::new(cursor),
+            buf_offset: (cursor - addr.raw()) as usize,
+            len: (span_end - cursor) as usize,
+        };
+        cursor = span_end;
+        Some(span)
+    })
+}
+
+/// Aggregate transaction statistics, including the write-set
+/// characterisation reported in Table 3 of the paper.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TxnStats {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted by the application.
+    pub aborted: u64,
+    /// Transactions that overflowed the hardware write-set and took the
+    /// software fall-back path.
+    pub fallbacks: u64,
+    /// Sum over committed transactions of distinct cache lines written.
+    pub lines_written_sum: u64,
+    /// Sum over committed transactions of distinct pages written.
+    pub pages_written_sum: u64,
+    /// Maximum distinct pages written by any committed transaction.
+    pub pages_written_max: u64,
+    /// Total `ATOMIC_STORE` operations issued.
+    pub stores: u64,
+    /// Total transactional loads issued.
+    pub loads: u64,
+}
+
+impl TxnStats {
+    /// Average distinct cache lines written per committed transaction.
+    pub fn avg_lines_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.lines_written_sum as f64 / self.committed as f64
+        }
+    }
+
+    /// Average distinct pages written per committed transaction.
+    pub fn avg_pages_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.pages_written_sum as f64 / self.committed as f64
+        }
+    }
+}
+
+/// Tracks the distinct lines/pages written by one in-flight transaction.
+#[derive(Debug, Clone, Default)]
+pub struct WriteSetTracker {
+    lines: HashSet<u64>,
+    pages: HashSet<u64>,
+}
+
+impl WriteSetTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a store covering `[addr, addr + len)`.
+    pub fn record(&mut self, addr: VirtAddr, len: usize) {
+        for span in line_spans(addr, len) {
+            self.lines.insert(span.addr.line_base().raw());
+            self.pages.insert(span.addr.vpn().raw());
+        }
+    }
+
+    /// Distinct lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Distinct pages written so far.
+    pub fn pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Folds this transaction into `stats` as committed and clears it.
+    pub fn fold_commit(&mut self, stats: &mut TxnStats) {
+        stats.committed += 1;
+        stats.lines_written_sum += self.lines() ;
+        stats.pages_written_sum += self.pages();
+        stats.pages_written_max = stats.pages_written_max.max(self.pages());
+        self.lines.clear();
+        self.pages.clear();
+    }
+
+    /// Clears the tracker after an abort.
+    pub fn fold_abort(&mut self, stats: &mut TxnStats) {
+        stats.aborted += 1;
+        self.lines.clear();
+        self.pages.clear();
+    }
+}
+
+/// A failure-atomic transaction engine (the paper's ISA extension).
+///
+/// All engines guarantee **ACD**: committed transactions survive a
+/// [`crash`](TxnEngine::crash) + [`recover`](TxnEngine::recover) cycle;
+/// uncommitted ones disappear entirely. Isolation is the caller's job
+/// (Section 2.2 of the paper) — the drivers in `ssp-workloads` never run
+/// two transactions against overlapping data concurrently.
+pub trait TxnEngine {
+    /// Engine name for reports ("SSP", "UNDO-LOG", ...).
+    fn name(&self) -> &'static str;
+
+    /// The underlying machine (counters, configuration).
+    fn machine(&self) -> &Machine;
+
+    /// Mutable access to the underlying machine.
+    fn machine_mut(&mut self) -> &mut Machine;
+
+    /// Maps a fresh persistent virtual page and returns its number.
+    /// This is an OS-level operation, not part of any transaction.
+    fn map_new_page(&mut self, core: CoreId) -> Vpn;
+
+    /// `ATOMIC_BEGIN`: opens a failure-atomic section on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` already has an open transaction.
+    fn begin(&mut self, core: CoreId);
+
+    /// Transactional (or plain) load of `buf.len()` bytes at `addr`.
+    fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]);
+
+    /// `ATOMIC_STORE`: transactional store of `data` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` has no open transaction.
+    fn store(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]);
+
+    /// `ATOMIC_END`: commits the open transaction; durable on return.
+    fn commit(&mut self, core: CoreId);
+
+    /// Rolls back the open transaction.
+    fn abort(&mut self, core: CoreId);
+
+    /// Simulated power failure (volatile state is lost).
+    fn crash(&mut self);
+
+    /// Post-crash recovery; afterwards committed data is readable again.
+    fn recover(&mut self);
+
+    /// Whether `core` has an open transaction.
+    fn in_txn(&self, core: CoreId) -> bool;
+
+    /// Aggregate transaction statistics.
+    fn txn_stats(&self) -> &TxnStats;
+
+    /// Crash followed by recovery (convenience).
+    fn crash_and_recover(&mut self) {
+        self.crash();
+        self.recover();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_spans_single_line() {
+        let spans: Vec<_> = line_spans(VirtAddr::new(0), 8).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].addr, VirtAddr::new(0));
+        assert_eq!(spans[0].len, 8);
+        assert_eq!(spans[0].buf_offset, 0);
+    }
+
+    #[test]
+    fn line_spans_exact_line() {
+        let spans: Vec<_> = line_spans(VirtAddr::new(64), 64).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].len, 64);
+    }
+
+    #[test]
+    fn line_spans_crossing_three_lines() {
+        let spans: Vec<_> = line_spans(VirtAddr::new(32), 160).collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].len, 32);
+        assert_eq!(spans[1].len, 64);
+        assert_eq!(spans[2].len, 64);
+        assert_eq!(spans[2].buf_offset, 96);
+    }
+
+    #[test]
+    fn line_spans_empty_range() {
+        assert_eq!(line_spans(VirtAddr::new(10), 0).count(), 0);
+    }
+
+    #[test]
+    fn tracker_counts_distinct_lines_and_pages() {
+        let mut t = WriteSetTracker::new();
+        t.record(VirtAddr::new(0), 8);
+        t.record(VirtAddr::new(4), 8); // same line
+        t.record(VirtAddr::new(64), 8); // second line, same page
+        t.record(VirtAddr::new(4096), 8); // second page
+        assert_eq!(t.lines(), 3);
+        assert_eq!(t.pages(), 2);
+    }
+
+    #[test]
+    fn tracker_fold_commit_accumulates_stats() {
+        let mut t = WriteSetTracker::new();
+        let mut s = TxnStats::default();
+        t.record(VirtAddr::new(0), 8);
+        t.record(VirtAddr::new(4096), 8);
+        t.fold_commit(&mut s);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.lines_written_sum, 2);
+        assert_eq!(s.pages_written_sum, 2);
+        assert_eq!(s.pages_written_max, 2);
+        assert!(t.is_empty());
+
+        t.record(VirtAddr::new(0), 8);
+        t.fold_commit(&mut s);
+        assert_eq!(s.committed, 2);
+        assert_eq!(s.pages_written_max, 2);
+        assert!((s.avg_lines_per_txn() - 1.5).abs() < 1e-9);
+        assert!((s.avg_pages_per_txn() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_fold_abort_counts_and_clears() {
+        let mut t = WriteSetTracker::new();
+        let mut s = TxnStats::default();
+        t.record(VirtAddr::new(0), 8);
+        t.fold_abort(&mut s);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.committed, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stats_averages_zero_when_no_commits() {
+        let s = TxnStats::default();
+        assert_eq!(s.avg_lines_per_txn(), 0.0);
+        assert_eq!(s.avg_pages_per_txn(), 0.0);
+    }
+}

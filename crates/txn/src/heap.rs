@@ -1,0 +1,174 @@
+//! A crash-safe persistent heap allocator.
+//!
+//! The allocator's own metadata (bump pointer and per-size-class free-list
+//! heads) lives in persistent memory and is read and written **through the
+//! transactional interface**, so an allocation or free that happens inside
+//! a failure-atomic section rolls back with it. Blocks never span pages.
+
+use ssp_simulator::addr::{VirtAddr, PAGE_SIZE};
+use ssp_simulator::cache::CoreId;
+
+use crate::engine::TxnEngine;
+use crate::view;
+
+/// Smallest allocatable block.
+pub const MIN_BLOCK: usize = 16;
+/// Largest allocatable block (one page).
+pub const MAX_BLOCK: usize = PAGE_SIZE;
+
+const NUM_CLASSES: usize = 9; // 16, 32, 64, ..., 4096
+
+/// Header field offsets (within the heap's header page).
+const HDR_BUMP: u64 = 0;
+const HDR_FREELISTS: u64 = 8;
+
+fn class_of(size: usize) -> usize {
+    assert!(size > 0 && size <= MAX_BLOCK, "invalid allocation size {size}");
+    let rounded = size.max(MIN_BLOCK).next_power_of_two();
+    (rounded.trailing_zeros() - MIN_BLOCK.trailing_zeros()) as usize
+}
+
+fn class_size(class: usize) -> usize {
+    MIN_BLOCK << class
+}
+
+/// A persistent heap rooted at a fixed header page.
+///
+/// The header page address is all the state the type carries; everything
+/// else is in (simulated) persistent memory, so a `PersistentHeap` can be
+/// re-attached after a crash with [`PersistentHeap::attach`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistentHeap {
+    header: VirtAddr,
+}
+
+impl PersistentHeap {
+    /// Creates (formats) a heap. Maps the header page and one initial data
+    /// page. Must be called inside an open transaction so the format is
+    /// atomic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` has no open transaction.
+    pub fn create<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId) -> Self {
+        assert!(engine.in_txn(core), "heap creation must be transactional");
+        let header_vpn = engine.map_new_page(core);
+        let heap = Self {
+            header: header_vpn.base(),
+        };
+        // Bump pointer 0 means "no data page yet"; the first allocation
+        // maps one. A page-aligned nonzero bump means the previous page is
+        // exactly exhausted.
+        view::write_u64(engine, core, heap.bump_addr(), 0);
+        for class in 0..NUM_CLASSES {
+            view::write_u64(engine, core, heap.freelist_addr(class), 0);
+        }
+        heap
+    }
+
+    /// Re-attaches to an existing heap whose header page is `header`.
+    pub fn attach(header: VirtAddr) -> Self {
+        Self { header }
+    }
+
+    /// The header page address (persist this somewhere findable, e.g. the
+    /// application root object).
+    pub fn header(&self) -> VirtAddr {
+        self.header
+    }
+
+    fn bump_addr(&self) -> VirtAddr {
+        self.header.add(HDR_BUMP)
+    }
+
+    fn freelist_addr(&self, class: usize) -> VirtAddr {
+        self.header.add(HDR_FREELISTS + class as u64 * 8)
+    }
+
+    /// Allocates `size` bytes (rounded up to a power-of-two class) and
+    /// returns the block address. Runs inside the caller's transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds [`MAX_BLOCK`], or if `core` has
+    /// no open transaction.
+    pub fn alloc<E: TxnEngine + ?Sized>(
+        &self,
+        engine: &mut E,
+        core: CoreId,
+        size: usize,
+    ) -> VirtAddr {
+        assert!(engine.in_txn(core), "alloc must run inside a transaction");
+        let class = class_of(size);
+        let head_addr = self.freelist_addr(class);
+        let head = view::read_u64(engine, core, head_addr);
+        if head != 0 {
+            // Pop: the first 8 bytes of a free block hold the next pointer.
+            let next = view::read_u64(engine, core, VirtAddr::new(head));
+            view::write_u64(engine, core, head_addr, next);
+            return VirtAddr::new(head);
+        }
+        // Bump allocation. Blocks are power-of-two sized and the bump stays
+        // block-aligned, so a page-aligned nonzero bump means the previous
+        // page is exhausted (never "points into" an unmapped page).
+        let block = class_size(class) as u64;
+        let mut bump = view::read_u64(engine, core, self.bump_addr());
+        let offset = bump % PAGE_SIZE as u64;
+        let exhausted = bump == 0 || offset == 0 || offset + block > PAGE_SIZE as u64;
+        if exhausted {
+            let fresh = engine.map_new_page(core);
+            bump = fresh.base().raw();
+        }
+        view::write_u64(engine, core, self.bump_addr(), bump + block);
+        VirtAddr::new(bump)
+    }
+
+    /// Returns a block to its size class's free list. Runs inside the
+    /// caller's transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not match a valid class or `core` has no open
+    /// transaction.
+    pub fn free<E: TxnEngine + ?Sized>(
+        &self,
+        engine: &mut E,
+        core: CoreId,
+        addr: VirtAddr,
+        size: usize,
+    ) {
+        assert!(engine.in_txn(core), "free must run inside a transaction");
+        let class = class_of(size);
+        let head_addr = self.freelist_addr(class);
+        let head = view::read_u64(engine, core, head_addr);
+        view::write_u64(engine, core, addr, head);
+        view::write_u64(engine, core, head_addr, addr.raw());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(16), 0);
+        assert_eq!(class_of(17), 1);
+        assert_eq!(class_of(64), 2);
+        assert_eq!(class_of(4096), 8);
+        assert_eq!(class_size(class_of(100)), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid allocation size")]
+    fn zero_size_panics() {
+        class_of(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid allocation size")]
+    fn oversize_panics() {
+        class_of(MAX_BLOCK + 1);
+    }
+}

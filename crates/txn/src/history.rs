@@ -1,0 +1,188 @@
+//! The crash-testing oracle.
+//!
+//! [`Oracle`] mirrors the *committed* contents of the persistent heap at
+//! byte granularity. Tests record every store alongside the engine, fold
+//! them in at commit, and after an injected crash + recovery compare what
+//! the engine reads against the oracle: committed transactions must be
+//! fully visible, uncommitted ones fully invisible.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ssp_simulator::addr::VirtAddr;
+use ssp_simulator::cache::CoreId;
+
+use crate::engine::TxnEngine;
+
+/// A byte-level model of committed persistent state.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    committed: BTreeMap<u64, u8>,
+    pending: HashMap<usize, Vec<(u64, Vec<u8>)>>,
+}
+
+/// A divergence between the engine and the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Address of the first mismatching byte.
+    pub addr: VirtAddr,
+    /// The oracle's expected value.
+    pub expected: u8,
+    /// What the engine read.
+    pub actual: u8,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "divergence at {}: expected {:#04x}, engine read {:#04x}",
+            self.addr, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+impl Oracle {
+    /// Creates an empty oracle (all bytes zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a store issued by `core`'s open transaction.
+    pub fn record_store(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
+        self.pending
+            .entry(core.index())
+            .or_default()
+            .push((addr.raw(), data.to_vec()));
+    }
+
+    /// Folds `core`'s pending stores into committed state.
+    pub fn on_commit(&mut self, core: CoreId) {
+        if let Some(writes) = self.pending.remove(&core.index()) {
+            for (base, bytes) in writes {
+                for (i, b) in bytes.iter().enumerate() {
+                    self.committed.insert(base + i as u64, *b);
+                }
+            }
+        }
+    }
+
+    /// Discards `core`'s pending stores.
+    pub fn on_abort(&mut self, core: CoreId) {
+        self.pending.remove(&core.index());
+    }
+
+    /// Discards all in-flight stores (a crash).
+    pub fn on_crash(&mut self) {
+        self.pending.clear();
+    }
+
+    /// The committed value of a byte (0 if never written).
+    pub fn committed_byte(&self, addr: VirtAddr) -> u8 {
+        self.committed.get(&addr.raw()).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct committed bytes tracked.
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Compares every committed byte against what `engine` reads (grouping
+    /// contiguous runs to keep load counts sane). Returns the first
+    /// divergence, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Divergence`] describing the first mismatching byte.
+    pub fn verify<E: TxnEngine + ?Sized>(
+        &self,
+        engine: &mut E,
+        core: CoreId,
+    ) -> Result<(), Divergence> {
+        let mut iter = self.committed.iter().peekable();
+        while let Some((&start, _)) = iter.peek() {
+            // Collect a contiguous run.
+            let mut run = Vec::new();
+            let mut next = start;
+            while let Some((&a, &v)) = iter.peek() {
+                if a == next {
+                    run.push(v);
+                    next += 1;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            let mut actual = vec![0u8; run.len()];
+            // Load line-by-line chunks; engine::load splits internally but
+            // cannot span pages, so clip to page boundaries here.
+            let mut off = 0usize;
+            while off < run.len() {
+                let addr = start + off as u64;
+                let page_left = 4096 - (addr % 4096) as usize;
+                let chunk = page_left.min(run.len() - off);
+                engine.load(
+                    core,
+                    VirtAddr::new(addr),
+                    &mut actual[off..off + chunk],
+                );
+                off += chunk;
+            }
+            for (i, (&exp, &act)) in run.iter().zip(actual.iter()).enumerate() {
+                if exp != act {
+                    return Err(Divergence {
+                        addr: VirtAddr::new(start + i as u64),
+                        expected: exp,
+                        actual: act,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId::new(0);
+    const C1: CoreId = CoreId::new(1);
+
+    #[test]
+    fn commit_applies_pending_in_order() {
+        let mut o = Oracle::new();
+        o.record_store(C0, VirtAddr::new(100), &[1, 2]);
+        o.record_store(C0, VirtAddr::new(101), &[9]);
+        o.on_commit(C0);
+        assert_eq!(o.committed_byte(VirtAddr::new(100)), 1);
+        assert_eq!(o.committed_byte(VirtAddr::new(101)), 9); // later wins
+    }
+
+    #[test]
+    fn abort_discards_pending() {
+        let mut o = Oracle::new();
+        o.record_store(C0, VirtAddr::new(50), &[7]);
+        o.on_abort(C0);
+        assert_eq!(o.committed_byte(VirtAddr::new(50)), 0);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut o = Oracle::new();
+        o.record_store(C0, VirtAddr::new(10), &[1]);
+        o.record_store(C1, VirtAddr::new(20), &[2]);
+        o.on_commit(C0);
+        o.on_crash();
+        assert_eq!(o.committed_byte(VirtAddr::new(10)), 1);
+        assert_eq!(o.committed_byte(VirtAddr::new(20)), 0);
+    }
+
+    #[test]
+    fn unwritten_bytes_default_to_zero() {
+        let o = Oracle::new();
+        assert_eq!(o.committed_byte(VirtAddr::new(12345)), 0);
+        assert_eq!(o.committed_len(), 0);
+    }
+}

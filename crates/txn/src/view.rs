@@ -1,0 +1,68 @@
+//! Typed accessors over a transaction engine.
+//!
+//! Persistent data structures lay their nodes out manually (as a real
+//! persistent-memory library would) and use these helpers to read and write
+//! fixed-width fields through the transactional interface.
+
+use ssp_simulator::addr::VirtAddr;
+use ssp_simulator::cache::CoreId;
+
+use crate::engine::TxnEngine;
+
+/// Reads a little-endian `u64` at `addr`.
+pub fn read_u64<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId, addr: VirtAddr) -> u64 {
+    let mut buf = [0u8; 8];
+    engine.load(core, addr, &mut buf);
+    u64::from_le_bytes(buf)
+}
+
+/// Writes a little-endian `u64` at `addr` (transactional store).
+pub fn write_u64<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId, addr: VirtAddr, value: u64) {
+    engine.store(core, addr, &value.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` at `addr`.
+pub fn read_u32<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId, addr: VirtAddr) -> u32 {
+    let mut buf = [0u8; 4];
+    engine.load(core, addr, &mut buf);
+    u32::from_le_bytes(buf)
+}
+
+/// Writes a little-endian `u32` at `addr` (transactional store).
+pub fn write_u32<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId, addr: VirtAddr, value: u32) {
+    engine.store(core, addr, &value.to_le_bytes());
+}
+
+/// Reads one byte at `addr`.
+pub fn read_u8<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId, addr: VirtAddr) -> u8 {
+    let mut buf = [0u8; 1];
+    engine.load(core, addr, &mut buf);
+    buf[0]
+}
+
+/// Writes one byte at `addr` (transactional store).
+pub fn write_u8<E: TxnEngine + ?Sized>(engine: &mut E, core: CoreId, addr: VirtAddr, value: u8) {
+    engine.store(core, addr, &[value]);
+}
+
+/// Interprets `0` as a null pointer; reads an optional address field.
+pub fn read_ptr<E: TxnEngine + ?Sized>(
+    engine: &mut E,
+    core: CoreId,
+    addr: VirtAddr,
+) -> Option<VirtAddr> {
+    match read_u64(engine, core, addr) {
+        0 => None,
+        raw => Some(VirtAddr::new(raw)),
+    }
+}
+
+/// Writes an optional address field (`None` becomes 0).
+pub fn write_ptr<E: TxnEngine + ?Sized>(
+    engine: &mut E,
+    core: CoreId,
+    addr: VirtAddr,
+    value: Option<VirtAddr>,
+) {
+    write_u64(engine, core, addr, value.map_or(0, VirtAddr::raw));
+}

@@ -1,0 +1,311 @@
+//! NVRAM physical layout and the virtual-memory manager.
+//!
+//! The persistent physical address space is carved into fixed regions
+//! (header, page table, per-engine log areas, the SSP shadow-page pool, and
+//! the data heap). The page table itself lives in NVRAM and is updated with
+//! 8-byte atomic persists, so virtual-to-physical mappings survive a crash
+//! — the paper relies on the OS for this; we make it explicit.
+
+use std::collections::HashMap;
+
+use ssp_simulator::addr::{PhysAddr, Ppn, VirtAddr, Vpn, PAGE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::machine::Machine;
+use ssp_simulator::phys::NVRAM_PPN_BASE;
+use ssp_simulator::stats::WriteClass;
+
+/// First virtual page number of the persistent heap.
+pub const HEAP_BASE_VPN: u64 = 0x10_0000;
+
+/// Physical layout of the NVRAM region (page counts per region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvLayout {
+    /// Global header (engine registers: log head/tail, counters).
+    pub header_base: Ppn,
+    /// Page-table region: entry `i` is 8 bytes at `pt_base + i * 8`.
+    pub pt_base: Ppn,
+    /// Log / journal region (engines subdivide it per core).
+    pub log_base: Ppn,
+    /// Persistent SSP-cache slots.
+    pub meta_base: Ppn,
+    /// Shadow (second physical page) pool.
+    pub shadow_base: Ppn,
+    /// Heap data pages.
+    pub heap_base: Ppn,
+}
+
+/// Pages reserved for the global header region.
+pub const HEADER_PAGES: u64 = 16;
+/// Pages reserved for the page table (supports 2 M mapped pages).
+pub const PT_PAGES: u64 = 4096;
+/// Pages reserved for logs and journals.
+pub const LOG_PAGES: u64 = 16384;
+/// Pages reserved for persistent metadata (SSP cache slots).
+pub const META_PAGES: u64 = 4096;
+/// Pages reserved for the shadow-page pool.
+pub const SHADOW_PAGES: u64 = 65536;
+
+impl Default for NvLayout {
+    fn default() -> Self {
+        let header = NVRAM_PPN_BASE;
+        let pt = header + HEADER_PAGES;
+        let log = pt + PT_PAGES;
+        let meta = log + LOG_PAGES;
+        let shadow = meta + META_PAGES;
+        let heap = shadow + SHADOW_PAGES;
+        Self {
+            header_base: Ppn::new(header),
+            pt_base: Ppn::new(pt),
+            log_base: Ppn::new(log),
+            meta_base: Ppn::new(meta),
+            shadow_base: Ppn::new(shadow),
+            heap_base: Ppn::new(heap),
+        }
+    }
+}
+
+impl NvLayout {
+    /// Physical address of byte `offset` inside the header region.
+    pub fn header_addr(&self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < HEADER_PAGES * PAGE_SIZE as u64);
+        PhysAddr::new(self.header_base.base().raw() + offset)
+    }
+
+    /// Physical address of the page-table entry for heap page index `i`.
+    pub fn pt_entry_addr(&self, index: u64) -> PhysAddr {
+        debug_assert!(index * 8 < PT_PAGES * PAGE_SIZE as u64);
+        PhysAddr::new(self.pt_base.base().raw() + index * 8)
+    }
+
+    /// Physical address of byte `offset` inside the log region.
+    pub fn log_addr(&self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < LOG_PAGES * PAGE_SIZE as u64);
+        PhysAddr::new(self.log_base.base().raw() + offset)
+    }
+
+    /// Byte capacity of the log region.
+    pub fn log_capacity(&self) -> u64 {
+        LOG_PAGES * PAGE_SIZE as u64
+    }
+
+    /// Physical address of byte `offset` inside the metadata region.
+    pub fn meta_addr(&self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < META_PAGES * PAGE_SIZE as u64);
+        PhysAddr::new(self.meta_base.base().raw() + offset)
+    }
+
+    /// The `i`-th page of the shadow pool.
+    pub fn shadow_page(&self, index: u64) -> Ppn {
+        debug_assert!(index < SHADOW_PAGES);
+        Ppn::new(self.shadow_base.raw() + index)
+    }
+}
+
+/// Byte offset of the persisted `next_vpn` counter in the header.
+const HDR_NEXT_VPN: u64 = 0;
+
+/// The virtual-memory manager: allocates heap pages and maintains the
+/// persistent page table.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_simulator::cache::CoreId;
+/// use ssp_simulator::config::MachineConfig;
+/// use ssp_simulator::machine::Machine;
+/// use ssp_txn::vm::{NvLayout, VmManager};
+///
+/// let mut machine = Machine::new(MachineConfig::default());
+/// let mut vm = VmManager::new(NvLayout::default());
+/// let vpn = vm.map_new_page(&mut machine, CoreId::new(0));
+/// let ppn = vm.translate(vpn).unwrap();
+/// assert_eq!(vm.translate(vpn), Some(ppn));
+/// ```
+#[derive(Debug)]
+pub struct VmManager {
+    layout: NvLayout,
+    next_index: u64,
+    table: HashMap<u64, Ppn>,
+}
+
+impl VmManager {
+    /// Creates a manager over a fresh (or recovered) layout. Call
+    /// [`VmManager::recover`] to rebuild state after a crash.
+    pub fn new(layout: NvLayout) -> Self {
+        Self {
+            layout,
+            next_index: 0,
+            table: HashMap::new(),
+        }
+    }
+
+    /// The physical layout.
+    pub fn layout(&self) -> &NvLayout {
+        &self.layout
+    }
+
+    /// Number of heap pages mapped so far.
+    pub fn mapped_pages(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Maps a fresh heap page: assigns the next VPN, backs it with the next
+    /// heap frame, and persists both the page-table entry and the page
+    /// counter (8-byte atomic persists).
+    pub fn map_new_page(&mut self, machine: &mut Machine, core: CoreId) -> Vpn {
+        let index = self.next_index;
+        self.next_index += 1;
+        let vpn = Vpn::new(HEAP_BASE_VPN + index);
+        let ppn = Ppn::new(self.layout.heap_base.raw() + index);
+        self.table.insert(vpn.raw(), ppn);
+        machine.persist_bytes(
+            Some(core),
+            self.layout.pt_entry_addr(index),
+            &ppn.raw().to_le_bytes(),
+            WriteClass::Other,
+        );
+        machine.persist_bytes(
+            Some(core),
+            self.layout.header_addr(HDR_NEXT_VPN),
+            &self.next_index.to_le_bytes(),
+            WriteClass::Other,
+        );
+        vpn
+    }
+
+    /// Translates a heap VPN to its current physical page.
+    pub fn translate(&self, vpn: Vpn) -> Option<Ppn> {
+        self.table.get(&vpn.raw()).copied()
+    }
+
+    /// Translates a full virtual address to a physical address.
+    pub fn translate_addr(&self, addr: VirtAddr) -> Option<PhysAddr> {
+        let ppn = self.translate(addr.vpn())?;
+        Some(PhysAddr::new(
+            ppn.base().raw() + addr.page_offset() as u64,
+        ))
+    }
+
+    /// Atomically repoints `vpn` at `ppn` (consolidation, shadow-paging
+    /// commit) and persists the page-table entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` was never mapped.
+    pub fn update_mapping(&mut self, machine: &mut Machine, vpn: Vpn, ppn: Ppn) {
+        assert!(
+            vpn.raw() >= HEAP_BASE_VPN && vpn.raw() < HEAP_BASE_VPN + self.next_index,
+            "update_mapping of unmapped page {vpn}"
+        );
+        let index = vpn.raw() - HEAP_BASE_VPN;
+        self.table.insert(vpn.raw(), ppn);
+        machine.persist_bytes(
+            None,
+            self.layout.pt_entry_addr(index),
+            &ppn.raw().to_le_bytes(),
+            WriteClass::Other,
+        );
+    }
+
+    /// Rebuilds the volatile mirror from the persistent page table after a
+    /// crash.
+    pub fn recover(&mut self, machine: &Machine) {
+        let mut buf = [0u8; 8];
+        machine.read_bytes_uncached(self.layout.header_addr(HDR_NEXT_VPN), &mut buf);
+        self.next_index = u64::from_le_bytes(buf);
+        self.table.clear();
+        for index in 0..self.next_index {
+            machine.read_bytes_uncached(self.layout.pt_entry_addr(index), &mut buf);
+            self.table
+                .insert(HEAP_BASE_VPN + index, Ppn::new(u64::from_le_bytes(buf)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_simulator::config::MachineConfig;
+
+    fn setup() -> (Machine, VmManager) {
+        (
+            Machine::new(MachineConfig::default()),
+            VmManager::new(NvLayout::default()),
+        )
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = NvLayout::default();
+        let mut bases = [
+            l.header_base.raw(),
+            l.pt_base.raw(),
+            l.log_base.raw(),
+            l.meta_base.raw(),
+            l.shadow_base.raw(),
+            l.heap_base.raw(),
+        ];
+        bases.sort_unstable();
+        assert_eq!(bases[0], NVRAM_PPN_BASE);
+        for w in bases.windows(2) {
+            assert!(w[0] < w[1], "regions overlap");
+        }
+    }
+
+    #[test]
+    fn map_and_translate() {
+        let (mut m, mut vm) = setup();
+        let v1 = vm.map_new_page(&mut m, CoreId::new(0));
+        let v2 = vm.map_new_page(&mut m, CoreId::new(0));
+        assert_ne!(v1, v2);
+        assert_ne!(vm.translate(v1), vm.translate(v2));
+        let addr = VirtAddr::new(v1.base().raw() + 100);
+        let pa = vm.translate_addr(addr).unwrap();
+        assert_eq!(pa.page_offset(), 100);
+    }
+
+    #[test]
+    fn translate_unmapped_is_none() {
+        let (_, vm) = setup();
+        assert_eq!(vm.translate(Vpn::new(HEAP_BASE_VPN)), None);
+    }
+
+    #[test]
+    fn mappings_survive_crash() {
+        let (mut m, mut vm) = setup();
+        let v1 = vm.map_new_page(&mut m, CoreId::new(0));
+        let p1 = vm.translate(v1).unwrap();
+        m.crash();
+        let mut vm2 = VmManager::new(NvLayout::default());
+        vm2.recover(&m);
+        assert_eq!(vm2.translate(v1), Some(p1));
+        assert_eq!(vm2.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn update_mapping_survives_crash() {
+        let (mut m, mut vm) = setup();
+        let v1 = vm.map_new_page(&mut m, CoreId::new(0));
+        let shadow = vm.layout().shadow_page(0);
+        vm.update_mapping(&mut m, v1, shadow);
+        m.crash();
+        let mut vm2 = VmManager::new(NvLayout::default());
+        vm2.recover(&m);
+        assert_eq!(vm2.translate(v1), Some(shadow));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped page")]
+    fn update_unmapped_panics() {
+        let (mut m, mut vm) = setup();
+        vm.update_mapping(&mut m, Vpn::new(HEAP_BASE_VPN + 5), Ppn::new(1));
+    }
+
+    #[test]
+    fn shadow_pages_are_distinct_from_heap() {
+        let l = NvLayout::default();
+        let s = l.shadow_page(10);
+        assert!(s.raw() < l.heap_base.raw());
+        assert!(s.raw() >= l.shadow_base.raw());
+    }
+}

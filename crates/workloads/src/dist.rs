@@ -1,0 +1,194 @@
+//! Key distributions for the microbenchmarks.
+//!
+//! The paper evaluates each data structure under two access patterns
+//! (Section 5.1): uniformly random keys ("-Rand") and a skewed
+//! distribution ("-Zipf") in which *80% of the updates are applied to 15%
+//! of the keys*. [`KeyDist::HotSpot`] implements exactly that rule; a
+//! classic Zipf(s) sampler is also provided for sensitivity studies.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A key distribution over `0..n`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyDist {
+    /// Uniformly random keys.
+    Uniform {
+        /// Size of the key space.
+        n: u64,
+    },
+    /// The paper's skew: `hot_prob` of draws land in the first
+    /// `hot_frac` of the key space.
+    HotSpot {
+        /// Size of the key space.
+        n: u64,
+        /// Fraction of keys that are hot (0.15 in the paper).
+        hot_frac: f64,
+        /// Probability a draw is hot (0.8 in the paper).
+        hot_prob: f64,
+    },
+    /// Zipf with exponent `s` over `1..=n` (inverse-CDF sampling over a
+    /// precomputed harmonic table).
+    Zipf {
+        /// Size of the key space.
+        n: u64,
+        /// Skew exponent.
+        s: f64,
+        /// Precomputed cumulative weights.
+        cdf: Vec<f64>,
+    },
+}
+
+impl KeyDist {
+    /// Uniform over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0, "key space must be nonempty");
+        KeyDist::Uniform { n }
+    }
+
+    /// The paper's zipfian workload: 80% of updates to 15% of keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn paper_zipf(n: u64) -> Self {
+        assert!(n > 0, "key space must be nonempty");
+        KeyDist::HotSpot {
+            n,
+            hot_frac: 0.15,
+            hot_prob: 0.8,
+        }
+    }
+
+    /// True Zipf(s) over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite.
+    pub fn zipf(n: u64, s: f64) -> Self {
+        assert!(n > 0, "key space must be nonempty");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        KeyDist::Zipf { n, s, cdf }
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => *n,
+            KeyDist::HotSpot { n, .. } => *n,
+            KeyDist::Zipf { n, .. } => *n,
+        }
+    }
+
+    /// Draws a key in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+            KeyDist::HotSpot {
+                n,
+                hot_frac,
+                hot_prob,
+            } => {
+                let hot_keys = ((*n as f64) * hot_frac).max(1.0) as u64;
+                if rng.gen_bool(*hot_prob) {
+                    // Hot keys are spread through the space (stride) so the
+                    // hot set spans several pages like a real hot set would.
+                    let i = rng.gen_range(0..hot_keys);
+                    (i * (*n / hot_keys.max(1)).max(1)) % *n
+                } else {
+                    rng.gen_range(0..*n)
+                }
+            }
+            KeyDist::Zipf { n, cdf, .. } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let idx = cdf.partition_point(|&c| c < u) as u64;
+                idx.min(*n - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = KeyDist::uniform(100);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) < 100);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_mass() {
+        let n = 10_000;
+        let d = KeyDist::paper_zipf(n);
+        let mut r = rng();
+        let mut counts = std::collections::HashMap::new();
+        let draws = 50_000;
+        for _ in 0..draws {
+            *counts.entry(d.sample(&mut r)).or_insert(0u64) += 1;
+        }
+        // The hot set is 15% of keys; it must receive far more than 15% of
+        // draws (it gets ~80% plus its share of the uniform 20%).
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_keys = (n as f64 * 0.15) as usize;
+        let hot_mass: u64 = freqs.iter().take(hot_keys).sum();
+        assert!(
+            hot_mass as f64 / draws as f64 > 0.6,
+            "hot mass only {}",
+            hot_mass as f64 / draws as f64
+        );
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let d = KeyDist::zipf(1000, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut r) as usize] += 1;
+        }
+        // Key 0 should dominate key 100 which dominates key 900.
+        assert!(counts[0] > counts[100]);
+        assert!(counts[100] > counts[900]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = KeyDist::paper_zipf(1000);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zero_keyspace_panics() {
+        let _ = KeyDist::uniform(0);
+    }
+}

@@ -1,0 +1,329 @@
+//! A persistent chained hashtable (the Hash microbenchmark).
+//!
+//! Fixed bucket array of 8-byte head pointers; nodes are
+//! `{key, value, next}` triples from the persistent heap. Each benchmark
+//! transaction searches for a key and deletes it if found, inserts it
+//! otherwise — the paper's update mix (write set 3/3/4 in Table 3).
+
+use rand::rngs::SmallRng;
+use ssp_simulator::addr::{VirtAddr, PAGE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_txn::engine::TxnEngine;
+use ssp_txn::heap::PersistentHeap;
+use ssp_txn::view;
+
+use crate::dist::KeyDist;
+use crate::runner::Workload;
+
+const NODE_SIZE: usize = 24; // key, value, next
+const OFF_KEY: u64 = 0;
+const OFF_VALUE: u64 = 8;
+const OFF_NEXT: u64 = 16;
+
+/// A persistent chained hashtable.
+#[derive(Debug)]
+pub struct HashTable {
+    buckets: u64,
+    base: VirtAddr,
+    heap: PersistentHeap,
+}
+
+impl HashTable {
+    /// Creates a table with `buckets` chains inside an open transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or no transaction is open.
+    pub fn create(
+        engine: &mut dyn TxnEngine,
+        core: CoreId,
+        heap: PersistentHeap,
+        buckets: u64,
+    ) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        let pages = (buckets * 8).div_ceil(PAGE_SIZE as u64);
+        let first = engine.map_new_page(core);
+        for _ in 1..pages {
+            engine.map_new_page(core);
+        }
+        // Freshly mapped pages read as zero: all chains start empty.
+        Self {
+            buckets,
+            base: first.base(),
+            heap,
+        }
+    }
+
+    fn bucket_addr(&self, key: u64) -> VirtAddr {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.buckets;
+        self.base.add(h * 8)
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, engine: &mut dyn TxnEngine, core: CoreId, key: u64) -> Option<u64> {
+        let mut cursor = view::read_ptr(engine, core, self.bucket_addr(key));
+        while let Some(node) = cursor {
+            if view::read_u64(engine, core, node.add(OFF_KEY)) == key {
+                return Some(view::read_u64(engine, core, node.add(OFF_VALUE)));
+            }
+            cursor = view::read_ptr(engine, core, node.add(OFF_NEXT));
+        }
+        None
+    }
+
+    /// Inserts (or overwrites) a key inside the caller's transaction.
+    pub fn insert(&self, engine: &mut dyn TxnEngine, core: CoreId, key: u64, value: u64) {
+        let head_addr = self.bucket_addr(key);
+        // Overwrite in place if present.
+        let mut cursor = view::read_ptr(engine, core, head_addr);
+        while let Some(node) = cursor {
+            if view::read_u64(engine, core, node.add(OFF_KEY)) == key {
+                view::write_u64(engine, core, node.add(OFF_VALUE), value);
+                return;
+            }
+            cursor = view::read_ptr(engine, core, node.add(OFF_NEXT));
+        }
+        let node = self.heap.alloc(engine, core, NODE_SIZE);
+        let head = view::read_u64(engine, core, head_addr);
+        view::write_u64(engine, core, node.add(OFF_KEY), key);
+        view::write_u64(engine, core, node.add(OFF_VALUE), value);
+        view::write_u64(engine, core, node.add(OFF_NEXT), head);
+        view::write_u64(engine, core, head_addr, node.raw());
+    }
+
+    /// Removes a key inside the caller's transaction; returns whether it
+    /// was present.
+    pub fn remove(&self, engine: &mut dyn TxnEngine, core: CoreId, key: u64) -> bool {
+        let head_addr = self.bucket_addr(key);
+        let mut prev: Option<VirtAddr> = None;
+        let mut cursor = view::read_ptr(engine, core, head_addr);
+        while let Some(node) = cursor {
+            let next = view::read_u64(engine, core, node.add(OFF_NEXT));
+            if view::read_u64(engine, core, node.add(OFF_KEY)) == key {
+                match prev {
+                    Some(p) => view::write_u64(engine, core, p.add(OFF_NEXT), next),
+                    None => view::write_u64(engine, core, head_addr, next),
+                }
+                self.heap.free(engine, core, node, NODE_SIZE);
+                return true;
+            }
+            prev = Some(node);
+            cursor = if next == 0 {
+                None
+            } else {
+                Some(VirtAddr::new(next))
+            };
+        }
+        false
+    }
+}
+
+/// The Hash microbenchmark: search, then delete-if-found / insert-if-absent.
+#[derive(Debug)]
+pub struct HashWorkload {
+    dist: KeyDist,
+    buckets: u64,
+    initial: u64,
+    table: Option<HashTable>,
+}
+
+impl HashWorkload {
+    /// A workload over `dist.n()` keys with `initial` pre-loaded pairs.
+    pub fn new(dist: KeyDist, initial: u64) -> Self {
+        let buckets = (dist.n() / 4).max(16);
+        Self {
+            dist,
+            buckets,
+            initial,
+            table: None,
+        }
+    }
+
+    /// The underlying table (after setup) — for verification.
+    pub fn table(&self) -> &HashTable {
+        self.table.as_ref().expect("setup ran")
+    }
+}
+
+impl Workload for HashWorkload {
+    fn name(&self) -> &'static str {
+        "Hash"
+    }
+
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+        engine.begin(core);
+        let heap = PersistentHeap::create(engine, core);
+        let table = HashTable::create(engine, core, heap, self.buckets);
+        engine.commit(core);
+        // Pre-load `initial` evenly spaced keys, batched.
+        let n = self.dist.n();
+        let step = (n / self.initial.max(1)).max(1);
+        let mut key = 0;
+        let mut inserted = 0;
+        while inserted < self.initial && key < n {
+            engine.begin(core);
+            for _ in 0..32 {
+                if inserted >= self.initial || key >= n {
+                    break;
+                }
+                table.insert(engine, core, key, key * 10);
+                key += step;
+                inserted += 1;
+            }
+            engine.commit(core);
+        }
+        self.table = Some(table);
+    }
+
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+        let key = self.dist.sample(rng);
+        let table = self.table.as_ref().expect("setup ran");
+        if !table.remove(engine, core, key) {
+            table.insert(engine, core, key, key ^ 0xffff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+    use std::collections::HashMap;
+
+    const C0: CoreId = CoreId::new(0);
+
+    fn engine() -> Ssp {
+        Ssp::new(MachineConfig::default(), SspConfig::default())
+    }
+
+    fn fresh_table(e: &mut Ssp, buckets: u64) -> HashTable {
+        e.begin(C0);
+        let heap = PersistentHeap::create(e, C0);
+        let t = HashTable::create(e, C0, heap, buckets);
+        e.commit(C0);
+        t
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut e = engine();
+        let t = fresh_table(&mut e, 64);
+        e.begin(C0);
+        t.insert(&mut e, C0, 1, 100);
+        t.insert(&mut e, C0, 2, 200);
+        e.commit(C0);
+        assert_eq!(t.get(&mut e, C0, 1), Some(100));
+        assert_eq!(t.get(&mut e, C0, 2), Some(200));
+        assert_eq!(t.get(&mut e, C0, 3), None);
+        e.begin(C0);
+        assert!(t.remove(&mut e, C0, 1));
+        assert!(!t.remove(&mut e, C0, 3));
+        e.commit(C0);
+        assert_eq!(t.get(&mut e, C0, 1), None);
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let mut e = engine();
+        let t = fresh_table(&mut e, 1); // everything collides
+        e.begin(C0);
+        for k in 0..20 {
+            t.insert(&mut e, C0, k, k + 1000);
+        }
+        e.commit(C0);
+        for k in 0..20 {
+            assert_eq!(t.get(&mut e, C0, k), Some(k + 1000));
+        }
+        // Remove from the middle of the chain.
+        e.begin(C0);
+        assert!(t.remove(&mut e, C0, 10));
+        e.commit(C0);
+        assert_eq!(t.get(&mut e, C0, 10), None);
+        assert_eq!(t.get(&mut e, C0, 9), Some(1009));
+        assert_eq!(t.get(&mut e, C0, 11), Some(1011));
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut e = engine();
+        let t = fresh_table(&mut e, 16);
+        e.begin(C0);
+        t.insert(&mut e, C0, 5, 1);
+        e.commit(C0);
+        e.begin(C0);
+        t.insert(&mut e, C0, 5, 2);
+        e.commit(C0);
+        assert_eq!(t.get(&mut e, C0, 5), Some(2));
+    }
+
+    #[test]
+    fn crash_mid_insert_leaves_table_consistent() {
+        let mut e = engine();
+        let t = fresh_table(&mut e, 16);
+        e.begin(C0);
+        t.insert(&mut e, C0, 7, 70);
+        e.commit(C0);
+        e.begin(C0);
+        t.insert(&mut e, C0, 8, 80);
+        // crash before commit
+        e.crash_and_recover();
+        assert_eq!(t.get(&mut e, C0, 7), Some(70));
+        assert_eq!(t.get(&mut e, C0, 8), None);
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_ops() {
+        let mut e = engine();
+        let mut w = HashWorkload::new(KeyDist::uniform(256), 64);
+        w.setup(&mut e, C0);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        {
+            // Mirror the setup.
+            let n = 256;
+            let step = (n / 64).max(1);
+            let mut key = 0;
+            let mut inserted = 0;
+            while inserted < 64 && key < n {
+                model.insert(key, key * 10);
+                key += step;
+                inserted += 1;
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let key = w.dist.sample(&mut rng);
+            e.begin(C0);
+            let t = w.table.as_ref().unwrap();
+            if !t.remove(&mut e, C0, key) {
+                t.insert(&mut e, C0, key, key ^ 0xffff);
+                assert!(model.insert(key, key ^ 0xffff).is_none());
+            } else {
+                assert!(model.remove(&key).is_some());
+            }
+            e.commit(C0);
+        }
+        let t = w.table.as_ref().unwrap();
+        for k in 0..256 {
+            assert_eq!(t.get(&mut e, C0, k), model.get(&k).copied(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn freed_nodes_are_reused() {
+        let mut e = engine();
+        let t = fresh_table(&mut e, 16);
+        e.begin(C0);
+        t.insert(&mut e, C0, 1, 1);
+        e.commit(C0);
+        e.begin(C0);
+        t.remove(&mut e, C0, 1);
+        e.commit(C0);
+        e.begin(C0);
+        t.insert(&mut e, C0, 2, 2);
+        e.commit(C0);
+        assert_eq!(t.get(&mut e, C0, 2), Some(2));
+    }
+}

@@ -1,0 +1,370 @@
+//! A memcached-like persistent key-value cache (the paper's first real
+//! workload).
+//!
+//! Structure: a chained hash index, an LRU list threaded through the
+//! entries, and slab-allocated entries holding a 32-byte value inline.
+//! The generator mirrors memslap's default mix as used in the paper:
+//! **90% SET / 10% GET from four clients**, each client driven round-robin
+//! (the runner maps clients to simulated cores).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use ssp_simulator::addr::{VirtAddr, PAGE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_txn::engine::TxnEngine;
+use ssp_txn::heap::PersistentHeap;
+use ssp_txn::view;
+
+use crate::dist::KeyDist;
+use crate::runner::Workload;
+
+const VALUE_BYTES: usize = 32;
+// Entry layout: key(8) hash_next(8) lru_prev(8) lru_next(8) value(32) = 64.
+const ENTRY_SIZE: usize = 64;
+const OFF_KEY: u64 = 0;
+const OFF_HNEXT: u64 = 8;
+const OFF_PREV: u64 = 16;
+const OFF_NEXT: u64 = 24;
+const OFF_VALUE: u64 = 32;
+
+// Cache header: count(8) lru_head(8) lru_tail(8).
+const HDR_COUNT: u64 = 0;
+const HDR_HEAD: u64 = 8;
+const HDR_TAIL: u64 = 16;
+
+/// A persistent LRU key-value cache.
+#[derive(Debug)]
+pub struct KvCache {
+    header: VirtAddr,
+    buckets_base: VirtAddr,
+    buckets: u64,
+    capacity: u64,
+    heap: PersistentHeap,
+}
+
+impl KvCache {
+    /// Creates a cache with `capacity` entries and `buckets` chains inside
+    /// an open transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `buckets` is zero.
+    pub fn create(
+        engine: &mut dyn TxnEngine,
+        core: CoreId,
+        heap: PersistentHeap,
+        capacity: u64,
+        buckets: u64,
+    ) -> Self {
+        assert!(capacity > 0 && buckets > 0, "capacity and buckets must be positive");
+        let header = engine.map_new_page(core).base();
+        let pages = (buckets * 8).div_ceil(PAGE_SIZE as u64);
+        let first = engine.map_new_page(core);
+        for _ in 1..pages {
+            engine.map_new_page(core);
+        }
+        let cache = Self {
+            header,
+            buckets_base: first.base(),
+            buckets,
+            capacity,
+            heap,
+        };
+        view::write_u64(engine, core, header.add(HDR_COUNT), 0);
+        view::write_u64(engine, core, header.add(HDR_HEAD), 0);
+        view::write_u64(engine, core, header.add(HDR_TAIL), 0);
+        cache
+    }
+
+    fn bucket_addr(&self, key: u64) -> VirtAddr {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.buckets;
+        self.buckets_base.add(h * 8)
+    }
+
+    fn find(&self, e: &mut dyn TxnEngine, c: CoreId, key: u64) -> Option<VirtAddr> {
+        let mut cursor = view::read_ptr(e, c, self.bucket_addr(key));
+        while let Some(node) = cursor {
+            if view::read_u64(e, c, node.add(OFF_KEY)) == key {
+                return Some(node);
+            }
+            cursor = view::read_ptr(e, c, node.add(OFF_HNEXT));
+        }
+        None
+    }
+
+    fn lru_unlink(&self, e: &mut dyn TxnEngine, c: CoreId, node: VirtAddr) {
+        let prev = view::read_u64(e, c, node.add(OFF_PREV));
+        let next = view::read_u64(e, c, node.add(OFF_NEXT));
+        if prev == 0 {
+            view::write_u64(e, c, self.header.add(HDR_HEAD), next);
+        } else {
+            view::write_u64(e, c, VirtAddr::new(prev).add(OFF_NEXT), next);
+        }
+        if next == 0 {
+            view::write_u64(e, c, self.header.add(HDR_TAIL), prev);
+        } else {
+            view::write_u64(e, c, VirtAddr::new(next).add(OFF_PREV), prev);
+        }
+    }
+
+    fn lru_push_front(&self, e: &mut dyn TxnEngine, c: CoreId, node: VirtAddr) {
+        let head = view::read_u64(e, c, self.header.add(HDR_HEAD));
+        view::write_u64(e, c, node.add(OFF_PREV), 0);
+        view::write_u64(e, c, node.add(OFF_NEXT), head);
+        if head != 0 {
+            view::write_u64(e, c, VirtAddr::new(head).add(OFF_PREV), node.raw());
+        } else {
+            view::write_u64(e, c, self.header.add(HDR_TAIL), node.raw());
+        }
+        view::write_u64(e, c, self.header.add(HDR_HEAD), node.raw());
+    }
+
+    fn hash_unlink(&self, e: &mut dyn TxnEngine, c: CoreId, node: VirtAddr) {
+        let key = view::read_u64(e, c, node.add(OFF_KEY));
+        let head_addr = self.bucket_addr(key);
+        let mut prev: Option<VirtAddr> = None;
+        let mut cursor = view::read_ptr(e, c, head_addr);
+        while let Some(cur) = cursor {
+            let next = view::read_u64(e, c, cur.add(OFF_HNEXT));
+            if cur == node {
+                match prev {
+                    Some(p) => view::write_u64(e, c, p.add(OFF_HNEXT), next),
+                    None => view::write_u64(e, c, head_addr, next),
+                }
+                return;
+            }
+            prev = Some(cur);
+            cursor = if next == 0 {
+                None
+            } else {
+                Some(VirtAddr::new(next))
+            };
+        }
+    }
+
+    /// SET: insert or update, promoting to MRU; evicts the LRU entry when
+    /// full. Runs inside the caller's transaction.
+    pub fn set(&self, e: &mut dyn TxnEngine, c: CoreId, key: u64, value: &[u8; VALUE_BYTES]) {
+        if let Some(node) = self.find(e, c, key) {
+            e.store(c, node.add(OFF_VALUE), value);
+            self.lru_unlink(e, c, node);
+            self.lru_push_front(e, c, node);
+            return;
+        }
+        let count = view::read_u64(e, c, self.header.add(HDR_COUNT));
+        let node = if count >= self.capacity {
+            // Evict the LRU tail and recycle its entry.
+            let tail = VirtAddr::new(view::read_u64(e, c, self.header.add(HDR_TAIL)));
+            self.lru_unlink(e, c, tail);
+            self.hash_unlink(e, c, tail);
+            tail
+        } else {
+            view::write_u64(e, c, self.header.add(HDR_COUNT), count + 1);
+            self.heap.alloc(e, c, ENTRY_SIZE)
+        };
+        let head_addr = self.bucket_addr(key);
+        let bucket_head = view::read_u64(e, c, head_addr);
+        view::write_u64(e, c, node.add(OFF_KEY), key);
+        view::write_u64(e, c, node.add(OFF_HNEXT), bucket_head);
+        e.store(c, node.add(OFF_VALUE), value);
+        view::write_u64(e, c, head_addr, node.raw());
+        self.lru_push_front(e, c, node);
+    }
+
+    /// GET: returns the value and promotes the entry to MRU (the LRU
+    /// update is itself a persistent write, as in PM-aware memcached).
+    pub fn get(
+        &self,
+        e: &mut dyn TxnEngine,
+        c: CoreId,
+        key: u64,
+    ) -> Option<[u8; VALUE_BYTES]> {
+        let node = self.find(e, c, key)?;
+        let mut value = [0u8; VALUE_BYTES];
+        e.load(c, node.add(OFF_VALUE), &mut value);
+        self.lru_unlink(e, c, node);
+        self.lru_push_front(e, c, node);
+        Some(value)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self, e: &mut dyn TxnEngine, c: CoreId) -> u64 {
+        view::read_u64(e, c, self.header.add(HDR_COUNT))
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self, e: &mut dyn TxnEngine, c: CoreId) -> bool {
+        self.len(e, c) == 0
+    }
+}
+
+/// The Memcached workload: memslap-like mix, 90% SET, key skew.
+#[derive(Debug)]
+pub struct MemcachedWorkload {
+    dist: KeyDist,
+    capacity: u64,
+    cache: Option<KvCache>,
+}
+
+impl MemcachedWorkload {
+    /// A workload over `dist.n()` keys with an LRU capacity of `capacity`.
+    pub fn new(dist: KeyDist, capacity: u64) -> Self {
+        Self {
+            dist,
+            capacity,
+            cache: None,
+        }
+    }
+
+    /// The underlying cache (after setup).
+    pub fn cache(&self) -> &KvCache {
+        self.cache.as_ref().expect("setup ran")
+    }
+}
+
+impl Workload for MemcachedWorkload {
+    fn name(&self) -> &'static str {
+        "Memcached"
+    }
+
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+        engine.begin(core);
+        let heap = PersistentHeap::create(engine, core);
+        let cache = KvCache::create(
+            engine,
+            core,
+            heap,
+            self.capacity,
+            (self.capacity / 2).max(16),
+        );
+        engine.commit(core);
+        // Pre-warm to half capacity.
+        let warm = self.capacity / 2;
+        let mut k = 0;
+        while k < warm {
+            engine.begin(core);
+            for _ in 0..16 {
+                if k >= warm {
+                    break;
+                }
+                let value = [k as u8; VALUE_BYTES];
+                cache.set(engine, core, k, &value);
+                k += 1;
+            }
+            engine.commit(core);
+        }
+        self.cache = Some(cache);
+    }
+
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+        let key = self.dist.sample(rng);
+        let cache = self.cache.as_ref().expect("setup ran");
+        if rng.gen_bool(0.9) {
+            let value = [(key % 251) as u8; VALUE_BYTES];
+            cache.set(engine, core, key, &value);
+        } else {
+            let _ = cache.get(engine, core, key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+
+    const C0: CoreId = CoreId::new(0);
+
+    fn fresh(capacity: u64) -> (Ssp, KvCache) {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        e.begin(C0);
+        let heap = PersistentHeap::create(&mut e, C0);
+        let cache = KvCache::create(&mut e, C0, heap, capacity, 16);
+        e.commit(C0);
+        (e, cache)
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let (mut e, cache) = fresh(8);
+        e.begin(C0);
+        cache.set(&mut e, C0, 1, &[0xaa; VALUE_BYTES]);
+        e.commit(C0);
+        e.begin(C0);
+        assert_eq!(cache.get(&mut e, C0, 1), Some([0xaa; VALUE_BYTES]));
+        assert_eq!(cache.get(&mut e, C0, 2), None);
+        e.commit(C0);
+    }
+
+    #[test]
+    fn overwrite_keeps_count() {
+        let (mut e, cache) = fresh(8);
+        e.begin(C0);
+        cache.set(&mut e, C0, 1, &[1; VALUE_BYTES]);
+        cache.set(&mut e, C0, 1, &[2; VALUE_BYTES]);
+        e.commit(C0);
+        assert_eq!(cache.len(&mut e, C0), 1);
+        e.begin(C0);
+        assert_eq!(cache.get(&mut e, C0, 1), Some([2; VALUE_BYTES]));
+        e.commit(C0);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let (mut e, cache) = fresh(3);
+        for k in 0..3u64 {
+            e.begin(C0);
+            cache.set(&mut e, C0, k, &[k as u8; VALUE_BYTES]);
+            e.commit(C0);
+        }
+        // Touch key 0 so key 1 is LRU.
+        e.begin(C0);
+        let _ = cache.get(&mut e, C0, 0);
+        e.commit(C0);
+        e.begin(C0);
+        cache.set(&mut e, C0, 99, &[9; VALUE_BYTES]);
+        e.commit(C0);
+        assert_eq!(cache.len(&mut e, C0), 3);
+        e.begin(C0);
+        assert_eq!(cache.get(&mut e, C0, 1), None, "LRU entry evicted");
+        assert!(cache.get(&mut e, C0, 0).is_some());
+        assert!(cache.get(&mut e, C0, 99).is_some());
+        e.commit(C0);
+    }
+
+    #[test]
+    fn crash_mid_set_preserves_consistency() {
+        let (mut e, cache) = fresh(8);
+        e.begin(C0);
+        cache.set(&mut e, C0, 1, &[1; VALUE_BYTES]);
+        e.commit(C0);
+        e.begin(C0);
+        cache.set(&mut e, C0, 2, &[2; VALUE_BYTES]);
+        e.crash_and_recover();
+        e.begin(C0);
+        assert_eq!(cache.get(&mut e, C0, 1), Some([1; VALUE_BYTES]));
+        assert_eq!(cache.get(&mut e, C0, 2), None);
+        e.commit(C0);
+        assert_eq!(cache.len(&mut e, C0), 1);
+    }
+
+    #[test]
+    fn workload_mix_runs() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = MemcachedWorkload::new(KeyDist::paper_zipf(256), 64);
+        w.setup(&mut e, C0);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..200 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        let cache = w.cache();
+        let n = cache.len(&mut e, C0);
+        assert!(n <= 64, "capacity respected, len {n}");
+        assert!(n > 0);
+    }
+}

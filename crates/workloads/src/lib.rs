@@ -1,0 +1,33 @@
+//! # ssp-workloads — the paper's benchmark programs
+//!
+//! Persistent data structures built on the transactional interface, the
+//! key distributions of Section 5.1, and the driver that measures them:
+//!
+//! * [`btree`] — persistent B+-tree (BTree-Rand / BTree-Zipf)
+//! * [`rbtree`] — persistent red-black tree (RBTree-Rand / RBTree-Zipf)
+//! * [`hash`] — persistent chained hashtable (Hash-Rand / Hash-Zipf)
+//! * [`sps`] — array element swaps (SPS)
+//! * [`kvcache`] — memcached-like LRU cache + memslap-style generator
+//! * [`vacation`] — STAMP-Vacation-like reservation OLTP emulation
+//! * [`dist`] — uniform and "80% of updates to 15% of keys" skew
+//! * [`runner`] — round-robin multi-core driver producing [`runner::RunResult`]
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod dist;
+pub mod hash;
+pub mod kvcache;
+pub mod rbtree;
+pub mod runner;
+pub mod sps;
+pub mod vacation;
+
+pub use btree::{BTree, BTreeWorkload};
+pub use dist::KeyDist;
+pub use hash::{HashTable, HashWorkload};
+pub use kvcache::{KvCache, MemcachedWorkload};
+pub use rbtree::{RbTree, RbTreeWorkload};
+pub use runner::{run, RunConfig, RunResult, Workload};
+pub use sps::Sps;
+pub use vacation::VacationWorkload;

@@ -1,0 +1,629 @@
+//! A persistent red-black tree (the RBTree microbenchmark).
+//!
+//! Standard red-black insert/delete with rotations and recolouring,
+//! performed entirely through the transactional interface. Rotations touch
+//! several nodes spread across pages, which is why Table 3 reports the
+//! largest write sets for RBTree (12 lines / 3 pages on random keys).
+//!
+//! Node layout (48 bytes): key, value, left, right, parent, color.
+//! A persistent nil sentinel keeps the fixup logic branch-free.
+
+use rand::rngs::SmallRng;
+use ssp_simulator::addr::VirtAddr;
+use ssp_simulator::cache::CoreId;
+use ssp_txn::engine::TxnEngine;
+use ssp_txn::heap::PersistentHeap;
+use ssp_txn::view;
+
+use crate::dist::KeyDist;
+use crate::runner::Workload;
+
+const NODE_SIZE: usize = 48;
+const OFF_KEY: u64 = 0;
+const OFF_VALUE: u64 = 8;
+const OFF_LEFT: u64 = 16;
+const OFF_RIGHT: u64 = 24;
+const OFF_PARENT: u64 = 32;
+const OFF_COLOR: u64 = 40;
+
+const RED: u64 = 0;
+const BLACK: u64 = 1;
+
+/// A persistent red-black tree with 8-byte keys and values.
+#[derive(Debug)]
+pub struct RbTree {
+    /// Cell holding the root pointer.
+    root_cell: VirtAddr,
+    /// The nil sentinel node (black; child/parent fields mutable scratch).
+    nil: VirtAddr,
+    heap: PersistentHeap,
+}
+
+type N = u64; // node handle = raw address; nil sentinel address for "null"
+
+impl RbTree {
+    /// Creates an empty tree inside an open transaction.
+    pub fn create(engine: &mut dyn TxnEngine, core: CoreId, heap: PersistentHeap) -> Self {
+        let meta = engine.map_new_page(core).base();
+        let nil = heap.alloc(engine, core, NODE_SIZE);
+        let tree = Self {
+            root_cell: meta,
+            nil,
+            heap,
+        };
+        view::write_u64(engine, core, nil.add(OFF_COLOR), BLACK);
+        view::write_u64(engine, core, nil.add(OFF_LEFT), nil.raw());
+        view::write_u64(engine, core, nil.add(OFF_RIGHT), nil.raw());
+        view::write_u64(engine, core, nil.add(OFF_PARENT), nil.raw());
+        view::write_u64(engine, core, tree.root_cell, nil.raw());
+        tree
+    }
+
+    fn nil(&self) -> N {
+        self.nil.raw()
+    }
+
+    fn root(&self, e: &mut dyn TxnEngine, c: CoreId) -> N {
+        view::read_u64(e, c, self.root_cell)
+    }
+
+    fn set_root(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) {
+        view::write_u64(e, c, self.root_cell, n);
+    }
+
+    fn fld(&self, e: &mut dyn TxnEngine, c: CoreId, n: N, off: u64) -> u64 {
+        view::read_u64(e, c, VirtAddr::new(n).add(off))
+    }
+
+    fn set_fld(&self, e: &mut dyn TxnEngine, c: CoreId, n: N, off: u64, v: u64) {
+        view::write_u64(e, c, VirtAddr::new(n).add(off), v);
+    }
+
+    fn key(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) -> u64 {
+        self.fld(e, c, n, OFF_KEY)
+    }
+
+    fn left(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) -> N {
+        self.fld(e, c, n, OFF_LEFT)
+    }
+
+    fn right(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) -> N {
+        self.fld(e, c, n, OFF_RIGHT)
+    }
+
+    fn parent(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) -> N {
+        self.fld(e, c, n, OFF_PARENT)
+    }
+
+    fn color(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) -> u64 {
+        self.fld(e, c, n, OFF_COLOR)
+    }
+
+    fn rotate_left(&self, e: &mut dyn TxnEngine, c: CoreId, x: N) {
+        let y = self.right(e, c, x);
+        let yl = self.left(e, c, y);
+        self.set_fld(e, c, x, OFF_RIGHT, yl);
+        if yl != self.nil() {
+            self.set_fld(e, c, yl, OFF_PARENT, x);
+        }
+        let xp = self.parent(e, c, x);
+        self.set_fld(e, c, y, OFF_PARENT, xp);
+        if xp == self.nil() {
+            self.set_root(e, c, y);
+        } else if x == self.left(e, c, xp) {
+            self.set_fld(e, c, xp, OFF_LEFT, y);
+        } else {
+            self.set_fld(e, c, xp, OFF_RIGHT, y);
+        }
+        self.set_fld(e, c, y, OFF_LEFT, x);
+        self.set_fld(e, c, x, OFF_PARENT, y);
+    }
+
+    fn rotate_right(&self, e: &mut dyn TxnEngine, c: CoreId, x: N) {
+        let y = self.left(e, c, x);
+        let yr = self.right(e, c, y);
+        self.set_fld(e, c, x, OFF_LEFT, yr);
+        if yr != self.nil() {
+            self.set_fld(e, c, yr, OFF_PARENT, x);
+        }
+        let xp = self.parent(e, c, x);
+        self.set_fld(e, c, y, OFF_PARENT, xp);
+        if xp == self.nil() {
+            self.set_root(e, c, y);
+        } else if x == self.right(e, c, xp) {
+            self.set_fld(e, c, xp, OFF_RIGHT, y);
+        } else {
+            self.set_fld(e, c, xp, OFF_LEFT, y);
+        }
+        self.set_fld(e, c, y, OFF_RIGHT, x);
+        self.set_fld(e, c, x, OFF_PARENT, y);
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, e: &mut dyn TxnEngine, c: CoreId, key: u64) -> Option<u64> {
+        let mut n = self.root(e, c);
+        while n != self.nil() {
+            let k = self.key(e, c, n);
+            if key == k {
+                return Some(self.fld(e, c, n, OFF_VALUE));
+            }
+            n = if key < k {
+                self.left(e, c, n)
+            } else {
+                self.right(e, c, n)
+            };
+        }
+        None
+    }
+
+    /// Inserts (or overwrites) a key inside the caller's transaction.
+    pub fn insert(&self, e: &mut dyn TxnEngine, c: CoreId, key: u64, value: u64) {
+        let mut parent = self.nil();
+        let mut cur = self.root(e, c);
+        while cur != self.nil() {
+            parent = cur;
+            let k = self.key(e, c, cur);
+            if key == k {
+                self.set_fld(e, c, cur, OFF_VALUE, value);
+                return;
+            }
+            cur = if key < k {
+                self.left(e, c, cur)
+            } else {
+                self.right(e, c, cur)
+            };
+        }
+        let z = self.heap.alloc(e, c, NODE_SIZE).raw();
+        self.set_fld(e, c, z, OFF_KEY, key);
+        self.set_fld(e, c, z, OFF_VALUE, value);
+        self.set_fld(e, c, z, OFF_LEFT, self.nil());
+        self.set_fld(e, c, z, OFF_RIGHT, self.nil());
+        self.set_fld(e, c, z, OFF_PARENT, parent);
+        self.set_fld(e, c, z, OFF_COLOR, RED);
+        if parent == self.nil() {
+            self.set_root(e, c, z);
+        } else if key < self.key(e, c, parent) {
+            self.set_fld(e, c, parent, OFF_LEFT, z);
+        } else {
+            self.set_fld(e, c, parent, OFF_RIGHT, z);
+        }
+        self.insert_fixup(e, c, z);
+    }
+
+    fn insert_fixup(&self, e: &mut dyn TxnEngine, c: CoreId, mut z: N) {
+        loop {
+            let zp0 = self.parent(e, c, z);
+            if self.color(e, c, zp0) != RED {
+                break;
+            }
+            let zp = self.parent(e, c, z);
+            let zpp = self.parent(e, c, zp);
+            if zp == self.left(e, c, zpp) {
+                let y = self.right(e, c, zpp);
+                if self.color(e, c, y) == RED {
+                    self.set_fld(e, c, zp, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, y, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, zpp, OFF_COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.right(e, c, zp) {
+                        z = zp;
+                        self.rotate_left(e, c, z);
+                    }
+                    let zp = self.parent(e, c, z);
+                    let zpp = self.parent(e, c, zp);
+                    self.set_fld(e, c, zp, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, zpp, OFF_COLOR, RED);
+                    self.rotate_right(e, c, zpp);
+                }
+            } else {
+                let y = self.left(e, c, zpp);
+                if self.color(e, c, y) == RED {
+                    self.set_fld(e, c, zp, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, y, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, zpp, OFF_COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.left(e, c, zp) {
+                        z = zp;
+                        self.rotate_right(e, c, z);
+                    }
+                    let zp = self.parent(e, c, z);
+                    let zpp = self.parent(e, c, zp);
+                    self.set_fld(e, c, zp, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, zpp, OFF_COLOR, RED);
+                    self.rotate_left(e, c, zpp);
+                }
+            }
+        }
+        let root = self.root(e, c);
+        self.set_fld(e, c, root, OFF_COLOR, BLACK);
+    }
+
+    fn transplant(&self, e: &mut dyn TxnEngine, c: CoreId, u: N, v: N) {
+        let up = self.parent(e, c, u);
+        if up == self.nil() {
+            self.set_root(e, c, v);
+        } else if u == self.left(e, c, up) {
+            self.set_fld(e, c, up, OFF_LEFT, v);
+        } else {
+            self.set_fld(e, c, up, OFF_RIGHT, v);
+        }
+        self.set_fld(e, c, v, OFF_PARENT, up);
+    }
+
+    fn minimum(&self, e: &mut dyn TxnEngine, c: CoreId, mut n: N) -> N {
+        while self.left(e, c, n) != self.nil() {
+            n = self.left(e, c, n);
+        }
+        n
+    }
+
+    /// Removes a key inside the caller's transaction; returns whether it
+    /// was present.
+    pub fn remove(&self, e: &mut dyn TxnEngine, c: CoreId, key: u64) -> bool {
+        let mut z = self.root(e, c);
+        while z != self.nil() {
+            let k = self.key(e, c, z);
+            if key == k {
+                break;
+            }
+            z = if key < k {
+                self.left(e, c, z)
+            } else {
+                self.right(e, c, z)
+            };
+        }
+        if z == self.nil() {
+            return false;
+        }
+        let mut y = z;
+        let mut y_color = self.color(e, c, y);
+        let x;
+        if self.left(e, c, z) == self.nil() {
+            x = self.right(e, c, z);
+            self.transplant(e, c, z, x);
+        } else if self.right(e, c, z) == self.nil() {
+            x = self.left(e, c, z);
+            self.transplant(e, c, z, x);
+        } else {
+            let zr0 = self.right(e, c, z);
+            y = self.minimum(e, c, zr0);
+            y_color = self.color(e, c, y);
+            x = self.right(e, c, y);
+            if self.parent(e, c, y) == z {
+                self.set_fld(e, c, x, OFF_PARENT, y);
+            } else {
+                self.transplant(e, c, y, x);
+                let zr = self.right(e, c, z);
+                self.set_fld(e, c, y, OFF_RIGHT, zr);
+                self.set_fld(e, c, zr, OFF_PARENT, y);
+            }
+            self.transplant(e, c, z, y);
+            let zl = self.left(e, c, z);
+            self.set_fld(e, c, y, OFF_LEFT, zl);
+            self.set_fld(e, c, zl, OFF_PARENT, y);
+            let zc = self.color(e, c, z);
+            self.set_fld(e, c, y, OFF_COLOR, zc);
+        }
+        if y_color == BLACK {
+            self.delete_fixup(e, c, x);
+        }
+        self.heap.free(e, c, VirtAddr::new(z), NODE_SIZE);
+        true
+    }
+
+    fn delete_fixup(&self, e: &mut dyn TxnEngine, c: CoreId, mut x: N) {
+        while x != self.root(e, c) && self.color(e, c, x) == BLACK {
+            let xp = self.parent(e, c, x);
+            if x == self.left(e, c, xp) {
+                let mut w = self.right(e, c, xp);
+                if self.color(e, c, w) == RED {
+                    self.set_fld(e, c, w, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, xp, OFF_COLOR, RED);
+                    self.rotate_left(e, c, xp);
+                    let xp2 = self.parent(e, c, x);
+                    w = self.right(e, c, xp2);
+                }
+                let wl = self.left(e, c, w);
+                let wr = self.right(e, c, w);
+                if self.color(e, c, wl) == BLACK && self.color(e, c, wr) == BLACK {
+                    self.set_fld(e, c, w, OFF_COLOR, RED);
+                    x = self.parent(e, c, x);
+                } else {
+                    if self.color(e, c, wr) == BLACK {
+                        self.set_fld(e, c, wl, OFF_COLOR, BLACK);
+                        self.set_fld(e, c, w, OFF_COLOR, RED);
+                        self.rotate_right(e, c, w);
+                        let xp2 = self.parent(e, c, x);
+                    w = self.right(e, c, xp2);
+                    }
+                    let xp = self.parent(e, c, x);
+                    let xpc = self.color(e, c, xp);
+                    self.set_fld(e, c, w, OFF_COLOR, xpc);
+                    self.set_fld(e, c, xp, OFF_COLOR, BLACK);
+                    let wr = self.right(e, c, w);
+                    self.set_fld(e, c, wr, OFF_COLOR, BLACK);
+                    self.rotate_left(e, c, xp);
+                    x = self.root(e, c);
+                }
+            } else {
+                let mut w = self.left(e, c, xp);
+                if self.color(e, c, w) == RED {
+                    self.set_fld(e, c, w, OFF_COLOR, BLACK);
+                    self.set_fld(e, c, xp, OFF_COLOR, RED);
+                    self.rotate_right(e, c, xp);
+                    let xp2 = self.parent(e, c, x);
+                    w = self.left(e, c, xp2);
+                }
+                let wl = self.left(e, c, w);
+                let wr = self.right(e, c, w);
+                if self.color(e, c, wr) == BLACK && self.color(e, c, wl) == BLACK {
+                    self.set_fld(e, c, w, OFF_COLOR, RED);
+                    x = self.parent(e, c, x);
+                } else {
+                    if self.color(e, c, wl) == BLACK {
+                        self.set_fld(e, c, wr, OFF_COLOR, BLACK);
+                        self.set_fld(e, c, w, OFF_COLOR, RED);
+                        self.rotate_left(e, c, w);
+                        let xp2 = self.parent(e, c, x);
+                    w = self.left(e, c, xp2);
+                    }
+                    let xp = self.parent(e, c, x);
+                    let xpc = self.color(e, c, xp);
+                    self.set_fld(e, c, w, OFF_COLOR, xpc);
+                    self.set_fld(e, c, xp, OFF_COLOR, BLACK);
+                    let wl = self.left(e, c, w);
+                    self.set_fld(e, c, wl, OFF_COLOR, BLACK);
+                    self.rotate_right(e, c, xp);
+                    x = self.root(e, c);
+                }
+            }
+        }
+        self.set_fld(e, c, x, OFF_COLOR, BLACK);
+    }
+
+    /// In-order key listing (verification helper; iterative).
+    pub fn keys(&self, e: &mut dyn TxnEngine, c: CoreId) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut n = self.root(e, c);
+        while n != self.nil() || !stack.is_empty() {
+            while n != self.nil() {
+                stack.push(n);
+                n = self.left(e, c, n);
+            }
+            n = stack.pop().expect("nonempty");
+            out.push(self.key(e, c, n));
+            n = self.right(e, c, n);
+        }
+        out
+    }
+
+    /// Checks the red-black invariants; returns the black height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self, e: &mut dyn TxnEngine, c: CoreId) -> usize {
+        let root = self.root(e, c);
+        assert_eq!(self.color(e, c, root), BLACK, "root must be black");
+        self.check_node(e, c, root)
+    }
+
+    fn check_node(&self, e: &mut dyn TxnEngine, c: CoreId, n: N) -> usize {
+        if n == self.nil() {
+            return 1;
+        }
+        let l = self.left(e, c, n);
+        let r = self.right(e, c, n);
+        if self.color(e, c, n) == RED {
+            assert_eq!(self.color(e, c, l), BLACK, "red node with red child");
+            assert_eq!(self.color(e, c, r), BLACK, "red node with red child");
+        }
+        if l != self.nil() {
+            assert!(self.key(e, c, l) < self.key(e, c, n), "BST order violated");
+        }
+        if r != self.nil() {
+            assert!(self.key(e, c, r) > self.key(e, c, n), "BST order violated");
+        }
+        let hl = self.check_node(e, c, l);
+        let hr = self.check_node(e, c, r);
+        assert_eq!(hl, hr, "black heights differ");
+        hl + if self.color(e, c, n) == BLACK { 1 } else { 0 }
+    }
+}
+
+/// The RBTree microbenchmark: search, then delete-if-found /
+/// insert-if-absent.
+#[derive(Debug)]
+pub struct RbTreeWorkload {
+    dist: KeyDist,
+    initial: u64,
+    tree: Option<RbTree>,
+}
+
+impl RbTreeWorkload {
+    /// A workload over `dist.n()` keys with `initial` pre-loaded pairs.
+    pub fn new(dist: KeyDist, initial: u64) -> Self {
+        Self {
+            dist,
+            initial,
+            tree: None,
+        }
+    }
+
+    /// The underlying tree (after setup).
+    pub fn tree(&self) -> &RbTree {
+        self.tree.as_ref().expect("setup ran")
+    }
+}
+
+impl Workload for RbTreeWorkload {
+    fn name(&self) -> &'static str {
+        "RBTree"
+    }
+
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+        engine.begin(core);
+        let heap = PersistentHeap::create(engine, core);
+        let tree = RbTree::create(engine, core, heap);
+        engine.commit(core);
+        let n = self.dist.n();
+        let step = (n / self.initial.max(1)).max(1);
+        let mut key = 0;
+        let mut inserted = 0;
+        while inserted < self.initial && key < n {
+            engine.begin(core);
+            for _ in 0..16 {
+                if inserted >= self.initial || key >= n {
+                    break;
+                }
+                tree.insert(engine, core, key, key * 10);
+                key += step;
+                inserted += 1;
+            }
+            engine.commit(core);
+        }
+        self.tree = Some(tree);
+    }
+
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+        let key = self.dist.sample(rng);
+        let tree = self.tree.as_ref().expect("setup ran");
+        if tree.get(engine, core, key).is_some() {
+            tree.remove(engine, core, key);
+        } else {
+            tree.insert(engine, core, key, key ^ 0x1234);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+    use std::collections::BTreeMap;
+
+    const C0: CoreId = CoreId::new(0);
+
+    fn fresh() -> (Ssp, RbTree) {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        e.begin(C0);
+        let heap = PersistentHeap::create(&mut e, C0);
+        let t = RbTree::create(&mut e, C0, heap);
+        e.commit(C0);
+        (e, t)
+    }
+
+    #[test]
+    fn insert_get() {
+        let (mut e, t) = fresh();
+        e.begin(C0);
+        for k in [5u64, 3, 8, 1, 4, 7, 9] {
+            t.insert(&mut e, C0, k, k * 2);
+        }
+        e.commit(C0);
+        for k in [5u64, 3, 8, 1, 4, 7, 9] {
+            assert_eq!(t.get(&mut e, C0, k), Some(k * 2));
+        }
+        assert_eq!(t.get(&mut e, C0, 6), None);
+        assert_eq!(t.keys(&mut e, C0), vec![1, 3, 4, 5, 7, 8, 9]);
+        t.check_invariants(&mut e, C0);
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let (mut e, t) = fresh();
+        for k in 0..128u64 {
+            e.begin(C0);
+            t.insert(&mut e, C0, k, k);
+            e.commit(C0);
+        }
+        let bh = t.check_invariants(&mut e, C0);
+        // 128 sequential keys in a valid RB tree: black height stays small.
+        assert!(bh <= 9, "black height {bh}");
+        assert_eq!(t.keys(&mut e, C0).len(), 128);
+    }
+
+    #[test]
+    fn deletes_preserve_invariants() {
+        let (mut e, t) = fresh();
+        e.begin(C0);
+        for k in 0..64u64 {
+            t.insert(&mut e, C0, k, k);
+        }
+        e.commit(C0);
+        for k in (0..64u64).step_by(2) {
+            e.begin(C0);
+            assert!(t.remove(&mut e, C0, k));
+            e.commit(C0);
+            t.check_invariants(&mut e, C0);
+        }
+        let keys = t.keys(&mut e, C0);
+        assert_eq!(keys, (1..64).step_by(2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_ops() {
+        let (mut e, t) = fresh();
+        let mut model = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(13);
+        for i in 0..500 {
+            let key = rng.gen_range(0..200u64);
+            e.begin(C0);
+            if model.contains_key(&key) {
+                assert!(t.remove(&mut e, C0, key), "remove {key} at step {i}");
+                model.remove(&key);
+            } else {
+                t.insert(&mut e, C0, key, key + 1);
+                model.insert(key, key + 1);
+            }
+            e.commit(C0);
+            if i % 50 == 0 {
+                t.check_invariants(&mut e, C0);
+            }
+        }
+        t.check_invariants(&mut e, C0);
+        assert_eq!(t.keys(&mut e, C0), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_mid_rotation_rolls_back() {
+        let (mut e, t) = fresh();
+        e.begin(C0);
+        for k in 0..32u64 {
+            t.insert(&mut e, C0, k, k);
+        }
+        e.commit(C0);
+        // This insert triggers a fixup; crash before commit.
+        e.begin(C0);
+        t.insert(&mut e, C0, 1000, 1);
+        e.crash_and_recover();
+        assert_eq!(t.get(&mut e, C0, 1000), None);
+        t.check_invariants(&mut e, C0);
+        assert_eq!(t.keys(&mut e, C0).len(), 32);
+    }
+
+    #[test]
+    fn workload_write_sets_are_larger_than_hash() {
+        // Table 3: RBTree writes more lines per transaction than Hash.
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = RbTreeWorkload::new(KeyDist::uniform(400), 100);
+        w.setup(&mut e, C0);
+        let base = e.txn_stats().clone();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        let s = e.txn_stats();
+        let lines =
+            (s.lines_written_sum - base.lines_written_sum) as f64 / (s.committed - base.committed) as f64;
+        assert!(lines > 3.0, "avg lines {lines}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The workload driver: runs transactions round-robin over the simulated
+//! cores and collects the measurements every figure and table is built
+//! from.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::stats::{MachineStats, WriteClass};
+use ssp_txn::engine::{TxnEngine, TxnStats};
+
+/// A benchmark program driving a [`TxnEngine`].
+pub trait Workload {
+    /// Display name ("BTree", "SPS", ...).
+    fn name(&self) -> &'static str;
+
+    /// Builds the initial persistent state (own transactions inside).
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId);
+
+    /// Executes the body of one transaction (the driver wraps it in
+    /// `begin`/`commit`).
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng);
+}
+
+/// Driver parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Measured transactions.
+    pub txns: u64,
+    /// Warm-up transactions excluded from the counters.
+    pub warmup: u64,
+    /// Simulated threads (must not exceed the machine's cores).
+    pub threads: usize,
+    /// RNG seed (runs are fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            txns: 2000,
+            warmup: 200,
+            threads: 1,
+            seed: 0x55d0_2019,
+        }
+    }
+}
+
+/// Measurements of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Engine name.
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Measured transactions.
+    pub txns: u64,
+    /// Wall-clock of the measured phase in cycles (max over cores).
+    pub elapsed_cycles: u64,
+    /// Transactions per second at the configured clock.
+    pub tps: f64,
+    /// Machine counters for the measured phase.
+    pub stats: MachineStats,
+    /// Transaction statistics for the measured phase.
+    pub txn_stats: TxnStats,
+}
+
+impl RunResult {
+    /// Total NVRAM line writes in the measured phase.
+    pub fn nvram_writes(&self) -> u64 {
+        self.stats.nvram_writes_total()
+    }
+
+    /// Logging writes (log + metadata journal) in the measured phase.
+    pub fn logging_writes(&self) -> u64 {
+        self.stats.logging_writes()
+    }
+
+    /// NVRAM writes of one class.
+    pub fn writes_of(&self, class: WriteClass) -> u64 {
+        self.stats.nvram_writes(class)
+    }
+}
+
+/// Runs `workload` on `engine`: setup, warm-up, then the measured phase.
+///
+/// Transactions are interleaved round-robin across `cfg.threads` simulated
+/// cores; isolation is by construction (one transaction runs at a time,
+/// matching the paper's lock-based isolation assumption).
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero or exceeds the machine's core count.
+pub fn run<E: TxnEngine>(engine: &mut E, workload: &mut dyn Workload, cfg: &RunConfig) -> RunResult {
+    assert!(cfg.threads >= 1, "at least one thread");
+    assert!(
+        cfg.threads <= engine.machine().config().cores,
+        "more threads than simulated cores"
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    workload.setup(engine, CoreId::new(0));
+
+    for i in 0..cfg.warmup {
+        let core = CoreId::new((i % cfg.threads as u64) as usize);
+        engine.begin(core);
+        workload.run_txn(engine, core, &mut rng);
+        engine.commit(core);
+    }
+
+    // Exclude setup + warm-up from the measurement.
+    let stats_base = engine.machine().stats().clone();
+    let txn_base = engine.txn_stats().clone();
+    let cycles_base: Vec<u64> = (0..cfg.threads)
+        .map(|c| engine.machine().cycles(CoreId::new(c)))
+        .collect();
+
+    for i in 0..cfg.txns {
+        let core = CoreId::new((i % cfg.threads as u64) as usize);
+        engine.begin(core);
+        workload.run_txn(engine, core, &mut rng);
+        engine.commit(core);
+    }
+
+    let stats = diff_stats(engine.machine().stats(), &stats_base);
+
+    let mut txn_stats = engine.txn_stats().clone();
+    subtract_txn_stats(&mut txn_stats, &txn_base);
+
+    let elapsed = (0..cfg.threads)
+        .map(|c| engine.machine().cycles(CoreId::new(c)) - cycles_base[c])
+        .max()
+        .unwrap_or(0);
+    let freq_hz = engine.machine().config().freq_ghz * 1e9;
+    let tps = if elapsed == 0 {
+        0.0
+    } else {
+        cfg.txns as f64 / (elapsed as f64 / freq_hz)
+    };
+
+    RunResult {
+        engine: engine.name().to_string(),
+        workload: workload.name().to_string(),
+        txns: cfg.txns,
+        elapsed_cycles: elapsed,
+        tps,
+        stats,
+        txn_stats,
+    }
+}
+
+fn diff_stats(a: &MachineStats, b: &MachineStats) -> MachineStats {
+    let mut out = MachineStats::new();
+    for class in WriteClass::ALL {
+        out.record_nvram_writes(class, a.nvram_writes(class) - b.nvram_writes(class));
+    }
+    out.nvram_reads = a.nvram_reads - b.nvram_reads;
+    out.dram_writes = a.dram_writes - b.dram_writes;
+    out.dram_reads = a.dram_reads - b.dram_reads;
+    out.l1_hits = a.l1_hits - b.l1_hits;
+    out.l2_hits = a.l2_hits - b.l2_hits;
+    out.l3_hits = a.l3_hits - b.l3_hits;
+    out.mem_accesses = a.mem_accesses - b.mem_accesses;
+    out.tlb_misses = a.tlb_misses - b.tlb_misses;
+    out.flip_broadcasts = a.flip_broadcasts - b.flip_broadcasts;
+    out.coherence_invalidations = a.coherence_invalidations - b.coherence_invalidations;
+    out.writebacks = a.writebacks - b.writebacks;
+    out.row_hits = a.row_hits - b.row_hits;
+    out.row_misses = a.row_misses - b.row_misses;
+    out
+}
+
+fn subtract_txn_stats(a: &mut TxnStats, b: &TxnStats) {
+    a.committed -= b.committed;
+    a.aborted -= b.aborted;
+    a.fallbacks -= b.fallbacks;
+    a.lines_written_sum -= b.lines_written_sum;
+    a.pages_written_sum -= b.pages_written_sum;
+    a.stores -= b.stores;
+    a.loads -= b.loads;
+    // pages_written_max is a high-water mark; keep the global one.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::KeyDist;
+    use crate::sps::Sps;
+    use ssp_baselines::UndoLog;
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+
+    fn small_cfg() -> RunConfig {
+        RunConfig {
+            txns: 100,
+            warmup: 20,
+            threads: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_produces_sane_measurements() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = Sps::new(1024, KeyDist::uniform(1024));
+        let r = run(&mut e, &mut w, &small_cfg());
+        assert_eq!(r.txns, 100);
+        assert_eq!(r.txn_stats.committed, 100);
+        assert!(r.elapsed_cycles > 0);
+        assert!(r.tps > 0.0);
+        assert!(r.nvram_writes() > 0);
+        assert_eq!(r.engine, "SSP");
+        assert_eq!(r.workload, "SPS");
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let mut e1 = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w1 = Sps::new(1024, KeyDist::uniform(1024));
+        let r_with = run(
+            &mut e1,
+            &mut w1,
+            &RunConfig {
+                warmup: 200,
+                ..small_cfg()
+            },
+        );
+        // Measured committed count is exactly txns regardless of warmup.
+        assert_eq!(r_with.txn_stats.committed, 100);
+    }
+
+    #[test]
+    fn multi_thread_run_uses_multiple_cores() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = Sps::new(4096, KeyDist::uniform(4096));
+        let cfg = RunConfig {
+            threads: 4,
+            ..small_cfg()
+        };
+        let r = run(&mut e, &mut w, &cfg);
+        assert_eq!(r.txn_stats.committed, 100);
+        // Four cores split the work: wall-clock under 4 threads should be
+        // well below a single core running everything.
+        let mut e1 = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w1 = Sps::new(4096, KeyDist::uniform(4096));
+        let r1 = run(&mut e1, &mut w1, &small_cfg());
+        assert!(r.elapsed_cycles < r1.elapsed_cycles);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let mk = || {
+            let mut e = UndoLog::new(MachineConfig::default());
+            let mut w = Sps::new(512, KeyDist::paper_zipf(512));
+            run(&mut e, &mut w, &small_cfg())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+        assert_eq!(a.nvram_writes(), b.nvram_writes());
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads than simulated cores")]
+    fn too_many_threads_panics() {
+        let mut e = Ssp::new(MachineConfig::default().with_cores(1), SspConfig::default());
+        let mut w = Sps::new(64, KeyDist::uniform(64));
+        run(
+            &mut e,
+            &mut w,
+            &RunConfig {
+                threads: 2,
+                ..small_cfg()
+            },
+        );
+    }
+}

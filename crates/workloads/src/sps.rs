@@ -1,0 +1,149 @@
+//! SPS: swap random pairs of elements in a persistent array — the
+//! smallest microbenchmark in Table 3 (write set 2/2/2).
+
+use rand::rngs::SmallRng;
+use ssp_simulator::addr::{VirtAddr, PAGE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_txn::engine::TxnEngine;
+use ssp_txn::view;
+
+use crate::dist::KeyDist;
+use crate::runner::Workload;
+
+/// The SPS (swap) workload over an array of `n` 8-byte elements.
+#[derive(Debug)]
+pub struct Sps {
+    n: u64,
+    dist: KeyDist,
+    base: Option<VirtAddr>,
+}
+
+impl Sps {
+    /// Creates an SPS workload over `n` elements drawn from `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist.n() != n` or `n == 0`.
+    pub fn new(n: u64, dist: KeyDist) -> Self {
+        assert!(n > 0, "array must be nonempty");
+        assert_eq!(dist.n(), n, "distribution must cover the array");
+        Self {
+            n,
+            dist,
+            base: None,
+        }
+    }
+
+    fn slot(&self, i: u64) -> VirtAddr {
+        self.base.expect("setup ran").add(i * 8)
+    }
+
+    /// Reads element `i` (for verification).
+    pub fn get(&self, engine: &mut dyn TxnEngine, core: CoreId, i: u64) -> u64 {
+        view::read_u64(engine, core, self.slot(i))
+    }
+}
+
+impl Workload for Sps {
+    fn name(&self) -> &'static str {
+        "SPS"
+    }
+
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+        let pages = (self.n * 8).div_ceil(PAGE_SIZE as u64);
+        let first = engine.map_new_page(core);
+        for _ in 1..pages {
+            engine.map_new_page(core);
+        }
+        self.base = Some(first.base());
+        // Initialise elements to their index, in page-sized transactions.
+        let per_txn = PAGE_SIZE as u64 / 8;
+        let mut i = 0;
+        while i < self.n {
+            engine.begin(core);
+            let end = (i + per_txn).min(self.n);
+            for j in i..end {
+                view::write_u64(engine, core, self.slot(j), j);
+            }
+            engine.commit(core);
+            i = end;
+        }
+    }
+
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+        let a = self.dist.sample(rng);
+        let mut b = self.dist.sample(rng);
+        if b == a {
+            b = (a + 1) % self.n;
+        }
+        let va = view::read_u64(engine, core, self.slot(a));
+        let vb = view::read_u64(engine, core, self.slot(b));
+        view::write_u64(engine, core, self.slot(a), vb);
+        view::write_u64(engine, core, self.slot(b), va);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+
+    const C0: CoreId = CoreId::new(0);
+
+    #[test]
+    fn swaps_preserve_the_multiset() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = Sps::new(512, KeyDist::uniform(512));
+        w.setup(&mut e, C0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        let mut seen: Vec<u64> = (0..512).map(|i| w.get(&mut e, C0, i)).collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..512).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn swaps_survive_crash_recovery() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = Sps::new(128, KeyDist::uniform(128));
+        w.setup(&mut e, C0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        e.crash_and_recover();
+        let mut seen: Vec<u64> = (0..128).map(|i| w.get(&mut e, C0, i)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..128).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn write_set_matches_table3() {
+        // Table 3: SPS writes 2 lines on 2 pages on average (for large
+        // arrays; tiny ones may collide on one page).
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = Sps::new(4096, KeyDist::uniform(4096));
+        w.setup(&mut e, C0);
+        let base = e.txn_stats().clone();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        let s = e.txn_stats();
+        let txns = s.committed - base.committed;
+        let lines = (s.lines_written_sum - base.lines_written_sum) as f64 / txns as f64;
+        assert!((1.5..=2.0).contains(&lines), "avg lines {lines}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on the persistent data structures: arbitrary
+//! operation sequences against reference models, on the SSP engine.
+
+use proptest::prelude::*;
+use ssp_core::engine::Ssp;
+use ssp_core::SspConfig;
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::config::MachineConfig;
+use ssp_txn::engine::TxnEngine;
+use ssp_txn::heap::PersistentHeap;
+use ssp_workloads::{BTree, HashTable, RbTree};
+use std::collections::BTreeMap;
+
+const C0: CoreId = CoreId::new(0);
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Crash,
+}
+
+fn ops_strategy(key_space: u64, len: usize) -> impl Strategy<Value = Vec<TreeOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..key_space, any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+            3 => (0..key_space).prop_map(TreeOp::Remove),
+            2 => (0..key_space).prop_map(TreeOp::Get),
+            1 => Just(TreeOp::Crash),
+        ],
+        1..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rbtree_matches_model(ops in ops_strategy(64, 80)) {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        e.begin(C0);
+        let heap = PersistentHeap::create(&mut e, C0);
+        let tree = RbTree::create(&mut e, C0, heap);
+        e.commit(C0);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                TreeOp::Insert(k, v) => {
+                    e.begin(C0);
+                    tree.insert(&mut e, C0, k, v);
+                    e.commit(C0);
+                    model.insert(k, v);
+                }
+                TreeOp::Remove(k) => {
+                    e.begin(C0);
+                    let removed = tree.remove(&mut e, C0, k);
+                    e.commit(C0);
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut e, C0, k), model.get(&k).copied());
+                }
+                TreeOp::Crash => {
+                    e.crash_and_recover();
+                    tree.check_invariants(&mut e, C0);
+                }
+            }
+        }
+        tree.check_invariants(&mut e, C0);
+        prop_assert_eq!(tree.keys(&mut e, C0), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn btree_matches_model(ops in ops_strategy(96, 80)) {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        e.begin(C0);
+        let heap = PersistentHeap::create(&mut e, C0);
+        let tree = BTree::create(&mut e, C0, heap);
+        e.commit(C0);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                TreeOp::Insert(k, v) => {
+                    e.begin(C0);
+                    tree.insert(&mut e, C0, k, v);
+                    e.commit(C0);
+                    model.insert(k, v);
+                }
+                TreeOp::Remove(k) => {
+                    e.begin(C0);
+                    let removed = tree.remove(&mut e, C0, k);
+                    e.commit(C0);
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut e, C0, k), model.get(&k).copied());
+                }
+                TreeOp::Crash => {
+                    e.crash_and_recover();
+                }
+            }
+        }
+        prop_assert_eq!(tree.keys(&mut e, C0), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hashtable_matches_model(ops in ops_strategy(48, 80)) {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        e.begin(C0);
+        let heap = PersistentHeap::create(&mut e, C0);
+        let table = HashTable::create(&mut e, C0, heap, 8); // force chains
+        e.commit(C0);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                TreeOp::Insert(k, v) => {
+                    e.begin(C0);
+                    table.insert(&mut e, C0, k, v);
+                    e.commit(C0);
+                    model.insert(k, v);
+                }
+                TreeOp::Remove(k) => {
+                    e.begin(C0);
+                    let removed = table.remove(&mut e, C0, k);
+                    e.commit(C0);
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(table.get(&mut e, C0, k), model.get(&k).copied());
+                }
+                TreeOp::Crash => {
+                    e.crash_and_recover();
+                }
+            }
+        }
+        for k in 0..48 {
+            prop_assert_eq!(table.get(&mut e, C0, k), model.get(&k).copied());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's discussed extensions in action: sub-page granularity
+//! (Section 4.3) and wear-levelling spare rotation (Section 4.1.2).
+//!
+//! Compares 64 B vs 256 B tracking granularity on a sparse-update workload
+//! (the TLB-cost vs write-amplification trade-off), then demonstrates
+//! crash-atomic spare rotation.
+//!
+//! Run with: `cargo run --release --example tuning_extensions`
+
+use ssp::core::engine::Ssp;
+use ssp::simulator::cache::CoreId;
+use ssp::simulator::config::MachineConfig;
+use ssp::txn::engine::TxnEngine;
+use ssp::{SspConfig, WriteClass};
+
+fn sparse_updates(lines_per_subpage: usize) -> (u64, u64) {
+    let mut ssp_cfg = SspConfig::default();
+    ssp_cfg.lines_per_subpage = lines_per_subpage;
+    let mut engine = Ssp::new(MachineConfig::default(), ssp_cfg);
+    let core = CoreId::new(0);
+    let page = engine.map_new_page(core).base();
+    // 200 transactions, each updating one 8-byte field on a different line.
+    for i in 0..200u64 {
+        engine.begin(core);
+        engine.store(core, page.add((i % 64) * 64), &i.to_le_bytes());
+        engine.commit(core);
+    }
+    let stats = engine.machine().stats();
+    (
+        stats.nvram_writes(WriteClass::Data),
+        engine.machine().elapsed_cycles() / 200,
+    )
+}
+
+fn main() {
+    println!("Section 4.3 — sub-page granularity on sparse 8-byte updates\n");
+    println!(
+        "{:<12} {:>12} {:>14} {:>12}",
+        "granularity", "bitmap bits", "data writes", "cyc/txn"
+    );
+    for (lps, label) in [(1usize, "64 B"), (4, "256 B"), (8, "512 B")] {
+        let (writes, cycles) = sparse_updates(lps);
+        println!("{label:<12} {:>12} {writes:>14} {cycles:>12}", 64 / lps);
+    }
+    println!("\nCoarser tracking shrinks the per-TLB-entry bitmaps (the paper's");
+    println!("hardware-cost argument) but flushes whole groups: write");
+    println!("amplification for sparse updates.\n");
+
+    println!("Section 4.1.2 — wear-levelling spare rotation\n");
+    let mut engine = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let core = CoreId::new(0);
+    let pages: Vec<_> = (0..16).map(|_| engine.map_new_page(core).base()).collect();
+    for (i, &p) in pages.iter().enumerate() {
+        engine.begin(core);
+        engine.store(core, p, &(i as u64).to_le_bytes());
+        engine.commit(core);
+    }
+    engine.crash_and_recover(); // quiesce: all pages leave the TLBs
+    let rotated = engine.rotate_spares(256);
+    println!("rotated {rotated} slot spares onto fresh shadow-pool pages");
+    // Everything still readable, including across another power cycle.
+    engine.crash_and_recover();
+    for (i, &p) in pages.iter().enumerate() {
+        let mut buf = [0u8; 8];
+        engine.load(core, p, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), i as u64);
+    }
+    println!("all data verified after rotation + crash + recovery");
+}

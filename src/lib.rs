@@ -1,0 +1,53 @@
+//! # ssp — Shadow Sub-Paging, reproduced
+//!
+//! A full-system reproduction of *SSP: Eliminating Redundant Writes in
+//! Failure-Atomic NVRAMs via Shadow Sub-Paging* (Ni, Zhao, Litz, Bittman,
+//! Miller — MICRO 2019). This facade crate re-exports the whole workspace:
+//!
+//! * [`simulator`] — the machine substrate (hybrid DRAM/NVRAM timing,
+//!   cache hierarchy with TX bits and line retagging, TLB, crash boundary).
+//! * [`txn`] — the transactional "ISA" ([`txn::engine::TxnEngine`]), the
+//!   persistent heap, virtual memory, and the crash-test oracle.
+//! * [`core`] — SSP itself: cache-line-level shadow paging, metadata
+//!   journaling, page consolidation, checkpointing, recovery.
+//! * [`baselines`] — UNDO-LOG, REDO-LOG (DHTM-like), conventional shadow
+//!   paging.
+//! * [`workloads`] — the nine evaluated benchmarks and the run driver.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ssp::core::engine::Ssp;
+//! use ssp::core::SspConfig;
+//! use ssp::simulator::cache::CoreId;
+//! use ssp::simulator::config::MachineConfig;
+//! use ssp::txn::engine::TxnEngine;
+//!
+//! let mut engine = Ssp::new(MachineConfig::default(), SspConfig::default());
+//! let core = CoreId::new(0);
+//! let addr = engine.map_new_page(core).base();
+//!
+//! // A failure-atomic section (ATOMIC_BEGIN .. ATOMIC_END).
+//! engine.begin(core);
+//! engine.store(core, addr, b"durable!");
+//! engine.commit(core);
+//!
+//! // Power failure + recovery: committed data survives.
+//! engine.crash_and_recover();
+//! let mut buf = [0u8; 8];
+//! engine.load(core, addr, &mut buf);
+//! assert_eq!(&buf, b"durable!");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ssp_baselines as baselines;
+pub use ssp_core as core;
+pub use ssp_simulator as simulator;
+pub use ssp_txn as txn;
+pub use ssp_workloads as workloads;
+
+pub use ssp_baselines::{RedoLog, ShadowPaging, UndoLog};
+pub use ssp_core::{LineBitmap, Ssp, SspConfig};
+pub use ssp_simulator::{CoreId, Machine, MachineConfig, WriteClass};
+pub use ssp_txn::{Oracle, PersistentHeap, TxnEngine};

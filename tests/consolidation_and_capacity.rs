@@ -1,0 +1,179 @@
+//! Integration tests for page consolidation and capacity behaviour — the
+//! Section 3.4 machinery viewed from outside: TLB pressure drives pages
+//! inactive, consolidation merges their frames, data stays correct, and
+//! the 2x space overhead is confined to actively-updated pages.
+
+use ssp::core::engine::Ssp;
+use ssp::simulator::addr::VirtAddr;
+use ssp::simulator::cache::CoreId;
+use ssp::simulator::config::MachineConfig;
+use ssp::txn::engine::TxnEngine;
+use ssp::txn::view;
+use ssp::{SspConfig, WriteClass};
+
+const C0: CoreId = CoreId::new(0);
+
+fn write_u64(e: &mut Ssp, addr: VirtAddr, v: u64) {
+    e.begin(C0);
+    e.store(C0, addr, &v.to_le_bytes());
+    e.commit(C0);
+}
+
+#[test]
+fn consolidation_preserves_data_under_heavy_tlb_churn() {
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 8;
+    let mut e = Ssp::new(cfg, SspConfig::default());
+    let pages: Vec<VirtAddr> = (0..64).map(|_| e.map_new_page(C0).base()).collect();
+
+    // Three sweeps: every page is written, evicted from the tiny TLB,
+    // consolidated, and rewritten.
+    for sweep in 0..3u64 {
+        for (i, &p) in pages.iter().enumerate() {
+            write_u64(&mut e, p.add((i as u64 % 8) * 64), sweep * 1000 + i as u64);
+        }
+    }
+    let stats = e.consolidation_stats();
+    assert!(stats.pages >= 64, "pages consolidated: {}", stats.pages);
+    assert!(stats.lines_copied > 0);
+
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(
+            view::read_u64(&mut e, C0, p.add((i as u64 % 8) * 64)),
+            2000 + i as u64
+        );
+    }
+    // And after a crash too.
+    e.crash_and_recover();
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(
+            view::read_u64(&mut e, C0, p.add((i as u64 % 8) * 64)),
+            2000 + i as u64
+        );
+    }
+}
+
+#[test]
+fn consolidation_copies_fewer_side() {
+    // Write one line on a page, evict it: consolidation should copy 1 line
+    // (the single committed-in-shadow line), not 63.
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 2;
+    let mut e = Ssp::new(cfg, SspConfig::default());
+    let a = e.map_new_page(C0).base();
+    write_u64(&mut e, a, 7);
+    let before = e.consolidation_stats().lines_copied;
+    // Touch two other pages to evict `a` from the 2-entry TLB.
+    let b = e.map_new_page(C0).base();
+    let c = e.map_new_page(C0).base();
+    write_u64(&mut e, b, 1);
+    write_u64(&mut e, c, 2);
+    let copied = e.consolidation_stats().lines_copied - before;
+    assert!(copied <= 2, "copied {copied} lines for a 1-line page");
+    assert_eq!(view::read_u64(&mut e, C0, a), 7);
+}
+
+#[test]
+fn consolidation_swaps_when_shadow_side_wins() {
+    // Dirty 60 of 64 lines so the shadow page holds more committed data
+    // and consolidation repoints the mapping instead of copying 60 lines.
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 2;
+    let mut e = Ssp::new(cfg, SspConfig::default());
+    let a = e.map_new_page(C0).base();
+    e.begin(C0);
+    for l in 0..60u64 {
+        e.store(C0, a.add(l * 64), &(l + 100).to_le_bytes());
+    }
+    e.commit(C0);
+    // Evict from TLB.
+    let b = e.map_new_page(C0).base();
+    let c = e.map_new_page(C0).base();
+    write_u64(&mut e, b, 1);
+    write_u64(&mut e, c, 2);
+    let stats = e.consolidation_stats();
+    assert!(stats.swaps >= 1, "role swap expected: {stats:?}");
+    for l in 0..60u64 {
+        assert_eq!(view::read_u64(&mut e, C0, a.add(l * 64)), l + 100);
+    }
+    e.crash_and_recover();
+    for l in 0..60u64 {
+        assert_eq!(view::read_u64(&mut e, C0, a.add(l * 64)), l + 100);
+    }
+}
+
+#[test]
+fn disabling_consolidation_trades_space_for_writes() {
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 8;
+
+    let run = |consolidate: bool| {
+        let mut ssp_cfg = SspConfig::default();
+        ssp_cfg.consolidation_enabled = consolidate;
+        let mut e = Ssp::new(cfg.clone(), ssp_cfg);
+        let pages: Vec<VirtAddr> = (0..48).map(|_| e.map_new_page(C0).base()).collect();
+        // Odd sweep count: each line's committed bit ends up pointing at
+        // the shadow copy, so un-consolidated pages genuinely hold two
+        // live frames.
+        for sweep in 0..3u64 {
+            for (i, &p) in pages.iter().enumerate() {
+                write_u64(&mut e, p, sweep + i as u64);
+            }
+        }
+        (
+            e.machine().stats().nvram_writes(WriteClass::Consolidation),
+            e.pages_holding_two_frames(),
+        )
+    };
+
+    let (eager_writes, eager_double) = run(true);
+    let (lazy_writes, lazy_double) = run(false);
+    assert!(eager_writes > 0);
+    assert_eq!(lazy_writes, 0);
+    assert!(
+        lazy_double > eager_double,
+        "without consolidation more pages hold two frames ({lazy_double} vs {eager_double})"
+    );
+}
+
+#[test]
+fn ssp_cache_grows_under_extreme_pressure_without_corruption() {
+    // One slot's worth of cache, many live pages with nonzero committed
+    // bitmaps and consolidation disabled: the cache must grow, not evict
+    // live metadata.
+    let mut ssp_cfg = SspConfig::default();
+    ssp_cfg.ssp_cache_overprovision = 0;
+    ssp_cfg.consolidation_enabled = false;
+    let mut cfg = MachineConfig::default();
+    cfg.dtlb_entries = 2;
+    cfg.cores = 1;
+    let mut e = Ssp::new(cfg, ssp_cfg);
+    let pages: Vec<VirtAddr> = (0..16).map(|_| e.map_new_page(C0).base()).collect();
+    for (i, &p) in pages.iter().enumerate() {
+        write_u64(&mut e, p, i as u64);
+    }
+    assert!(e.ssp_cache_grown() > 0, "cache grew beyond N*T+O");
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(view::read_u64(&mut e, C0, p), i as u64);
+    }
+    e.crash_and_recover();
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(view::read_u64(&mut e, C0, p), i as u64);
+    }
+}
+
+#[test]
+fn flip_broadcast_traffic_scales_with_first_writes() {
+    let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+    let p = e.map_new_page(C0).base();
+    // 10 transactions x 4 first-writes each = 40 flips.
+    for t in 0..10u64 {
+        e.begin(C0);
+        for l in 0..4u64 {
+            e.store(C0, p.add(l * 64), &(t * 10 + l).to_le_bytes());
+            e.store(C0, p.add(l * 64), &(t * 20 + l).to_le_bytes()); // no extra flip
+        }
+        e.commit(C0);
+    }
+    assert_eq!(e.machine().stats().flip_broadcasts, 40);
+}
