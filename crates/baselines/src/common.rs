@@ -100,13 +100,16 @@ impl CoreLog {
         self.counted_until = end_line;
         let mut cycles = 0;
         for i in 0..new_lines {
-            let line_addr = self.entry_addr((self.counted_until - new_lines + i) * LINE_SIZE as u64);
+            let line_addr =
+                self.entry_addr((self.counted_until - new_lines + i) * LINE_SIZE as u64);
             cycles += machine.account_write(MemKind::Nvram, line_addr, WriteClass::Log);
         }
         if cycles == 0 {
             // Entirely coalesced into an already-counted line; charge the
             // buffered-write cost only.
-            cycles = machine.config().ns_to_cycles(machine.config().nvram.write_ns)
+            cycles = machine
+                .config()
+                .ns_to_cycles(machine.config().nvram.write_ns)
                 / machine.config().persist_mlp.max(1) as u64;
         }
         cycles

@@ -298,15 +298,14 @@ impl TxnEngine for RedoLog {
             }
             self.machine.clear_tx(line);
             if self.machine.flush(None, line, WriteClass::Data) {
-                drain_cycles +=
-                    self.machine.config().ns_to_cycles(
-                        self.machine.config().nvram.write_ns,
-                    ) / mlp;
+                drain_cycles += self
+                    .machine
+                    .config()
+                    .ns_to_cycles(self.machine.config().nvram.write_ns)
+                    / mlp;
             }
         }
-        let start = self
-            .drain_until[core.index()]
-            .max(self.machine.cycles(core));
+        let start = self.drain_until[core.index()].max(self.machine.cycles(core));
         self.drain_until[core.index()] = start + drain_cycles;
 
         self.logs[core.index()].truncate();
@@ -353,12 +352,8 @@ impl TxnEngine for RedoLog {
             for entry in self.logs[c].read_all(&self.machine) {
                 max_tid = max_tid.max(entry.tid);
                 if entry.tid <= committed {
-                    self.machine.persist_bytes(
-                        None,
-                        entry.paddr,
-                        &entry.data,
-                        WriteClass::Data,
-                    );
+                    self.machine
+                        .persist_bytes(None, entry.paddr, &entry.data, WriteClass::Data);
                 }
             }
             self.logs[c].truncate();

@@ -124,10 +124,7 @@ impl ShadowPaging {
     /// the core: this is the critical-path cost SSP eliminates.
     fn cow_page(&mut self, core: CoreId, vpn: Vpn) -> Ppn {
         let home = self.translate(core, vpn);
-        let shadow = self
-            .free_frames
-            .pop()
-            .expect("shadow frame pool exhausted");
+        let shadow = self.free_frames.pop().expect("shadow frame pool exhausted");
         let mlp = self.machine.config().persist_mlp.max(1) as u64;
         for line in LineIdx::all() {
             // The frame may have been recycled: drop any stale cached lines
@@ -139,9 +136,8 @@ impl ShadowPaging {
                 WriteClass::PageCopy,
             );
             let cfg = self.machine.config();
-            let cycles = (cfg.ns_to_cycles(cfg.nvram.read_ns)
-                + cfg.ns_to_cycles(cfg.nvram.write_ns))
-                / mlp;
+            let cycles =
+                (cfg.ns_to_cycles(cfg.nvram.read_ns) + cfg.ns_to_cycles(cfg.nvram.write_ns)) / mlp;
             self.machine.add_cycles(core, cycles.max(1));
         }
         self.open[core.index()]
@@ -399,10 +395,7 @@ mod tests {
         e.store(C0, addr, &1u64.to_le_bytes()); // one tiny store
         e.commit(C0);
         // 64 lines were copied for it.
-        assert_eq!(
-            e.machine().stats().nvram_writes(WriteClass::PageCopy),
-            64
-        );
+        assert_eq!(e.machine().stats().nvram_writes(WriteClass::PageCopy), 64);
     }
 
     #[test]

@@ -276,12 +276,8 @@ impl TxnEngine for UndoLog {
             for entry in entries.iter().rev() {
                 max_tid = max_tid.max(entry.tid);
                 if entry.tid > *committed {
-                    self.machine.persist_bytes(
-                        None,
-                        entry.paddr,
-                        &entry.data,
-                        WriteClass::Data,
-                    );
+                    self.machine
+                        .persist_bytes(None, entry.paddr, &entry.data, WriteClass::Data);
                 }
             }
         }

@@ -25,7 +25,11 @@ fn consolidation_ablation() {
     let cfg = MachineConfig::default().with_cores(1);
     let (run_cfg, scale) = env_setup(1);
     let mut rows = Vec::new();
-    for wkind in [WorkloadKind::BTreeRand, WorkloadKind::Sps, WorkloadKind::HashZipf] {
+    for wkind in [
+        WorkloadKind::BTreeRand,
+        WorkloadKind::Sps,
+        WorkloadKind::HashZipf,
+    ] {
         let mut cells = Vec::new();
         for enabled in [true, false] {
             let mut ssp_cfg = SspConfig::default();

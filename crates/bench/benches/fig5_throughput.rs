@@ -26,16 +26,15 @@ fn figure(threads: usize, label: &str) {
         cells.push(format!("{:.0}", tps[2] / 1000.0)); // absolute SSP kTPS
         rows.push((wkind.name().to_string(), cells));
     }
-    print_matrix(
-        label,
-        &["UNDO-LOG", "REDO-LOG", "SSP", "SSP kTPS"],
-        &rows,
-    );
+    print_matrix(label, &["UNDO-LOG", "REDO-LOG", "SSP", "SSP kTPS"], &rows);
 }
 
 fn main() {
     figure(1, "Figure 5a: normalised TPS, one thread (UNDO-LOG = 1.0)");
-    figure(4, "Figure 5b: normalised TPS, four threads (UNDO-LOG = 1.0)");
+    figure(
+        4,
+        "Figure 5b: normalised TPS, four threads (UNDO-LOG = 1.0)",
+    );
     println!("\npaper shape: SSP > REDO-LOG > UNDO-LOG on every workload;");
     println!("single-thread means: SSP ~1.9x UNDO, ~1.3x REDO; 4 threads: ~2.4x / ~1.4x");
 }

@@ -35,9 +35,7 @@ fn main() {
 
         let r = ssp_result.expect("SSP ran");
         let total = r.nvram_writes().max(1) as f64;
-        let pct = |class: WriteClass| {
-            format!("{:.0}%", 100.0 * r.writes_of(class) as f64 / total)
-        };
+        let pct = |class: WriteClass| format!("{:.0}%", 100.0 * r.writes_of(class) as f64 / total);
         rows7b.push((
             wkind.name().to_string(),
             vec![

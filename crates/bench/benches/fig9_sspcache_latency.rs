@@ -15,7 +15,14 @@ fn main() {
     let base_ssp_cfg = SspConfig::default();
     let mut redo_tps = Vec::new();
     for wkind in WorkloadKind::MICRO {
-        let r = run_cell(EngineKind::Redo, wkind, &cfg, &base_ssp_cfg, scale, &run_cfg);
+        let r = run_cell(
+            EngineKind::Redo,
+            wkind,
+            &cfg,
+            &base_ssp_cfg,
+            scale,
+            &run_cfg,
+        );
         redo_tps.push(r.tps);
     }
 

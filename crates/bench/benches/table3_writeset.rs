@@ -29,9 +29,7 @@ fn main() {
         &["WriteSet"],
         &rows,
     );
-    println!(
-        "\npaper: BTree-Rand 10/6/21  RBTree-Rand 12/3/13  Hash-Rand 3/3/4  SPS 2/2/2"
-    );
+    println!("\npaper: BTree-Rand 10/6/21  RBTree-Rand 12/3/13  Hash-Rand 3/3/4  SPS 2/2/2");
     println!(
         "       BTree-Zipf 6/4/15   RBTree-Zipf 5/2/6    Hash-Zipf 3/3/4  Memcached 3/2/35  Vacation 4/3/9"
     );

@@ -14,8 +14,7 @@ use ssp_simulator::config::MachineConfig;
 use ssp_txn::engine::TxnEngine;
 use ssp_workloads::runner::{run, RunConfig, RunResult, Workload};
 use ssp_workloads::{
-    BTreeWorkload, HashWorkload, KeyDist, MemcachedWorkload, RbTreeWorkload, Sps,
-    VacationWorkload,
+    BTreeWorkload, HashWorkload, KeyDist, MemcachedWorkload, RbTreeWorkload, Sps, VacationWorkload,
 };
 
 /// The engines under evaluation.

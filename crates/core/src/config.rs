@@ -72,7 +72,10 @@ impl SspConfig {
                 && self.lines_per_subpage <= ssp_simulator::addr::LINES_PER_PAGE,
             "lines_per_subpage must be a power of two dividing 64"
         );
-        assert!(self.write_set_capacity > 0, "write-set capacity must be positive");
+        assert!(
+            self.write_set_capacity > 0,
+            "write-set capacity must be positive"
+        );
     }
 }
 

@@ -114,8 +114,7 @@ impl Consolidator {
         let Some(entry) = cache.entry(sid) else {
             return;
         };
-        let (vpn, ppn0, ppn1, committed) =
-            (entry.vpn, entry.ppn0, entry.ppn1, entry.committed);
+        let (vpn, ppn0, ppn1, committed) = (entry.vpn, entry.ppn0, entry.ppn1, entry.committed);
         self.stats.pages += 1;
 
         let in_p1 = committed.count_ones();
@@ -251,8 +250,7 @@ mod tests {
     }
 
     fn run(rig: &mut Rig, sid: SlotId) {
-        rig.consolidator
-            .enqueue_if_inactive(&mut rig.cache, sid, 0);
+        rig.consolidator.enqueue_if_inactive(&mut rig.cache, sid, 0);
         let Rig {
             machine,
             cache,
@@ -344,8 +342,7 @@ mod tests {
         assert_eq!(rig.consolidator.queued(), 0);
         // Core has uncommitted updates.
         rig.cache.entry_mut(sid).unwrap().core_refs = 0b1;
-        rig.consolidator
-            .enqueue_if_inactive(&mut rig.cache, sid, 0);
+        rig.consolidator.enqueue_if_inactive(&mut rig.cache, sid, 0);
         assert_eq!(rig.consolidator.queued(), 0);
     }
 
@@ -353,10 +350,8 @@ mod tests {
     fn double_enqueue_is_idempotent() {
         let mut rig = setup();
         let (sid, _) = prepare_page(&mut rig, LineBitmap::from_raw(1));
-        rig.consolidator
-            .enqueue_if_inactive(&mut rig.cache, sid, 0);
-        rig.consolidator
-            .enqueue_if_inactive(&mut rig.cache, sid, 0);
+        rig.consolidator.enqueue_if_inactive(&mut rig.cache, sid, 0);
+        rig.consolidator.enqueue_if_inactive(&mut rig.cache, sid, 0);
         assert_eq!(rig.consolidator.queued(), 1);
     }
 

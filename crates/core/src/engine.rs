@@ -267,7 +267,8 @@ impl Ssp {
     /// Section 3.2).
     fn handle_tx_evictions(&mut self, evictions: Vec<TxEviction>) {
         for ev in evictions {
-            self.machine.persist_bytes(None, ev.line, &ev.data, WriteClass::Data);
+            self.machine
+                .persist_bytes(None, ev.line, &ev.data, WriteClass::Data);
         }
     }
 
@@ -382,8 +383,7 @@ impl Ssp {
         let entry = self.cache.entry(sid).expect("entry exists");
         let new_side = entry.current ^ LineBitmap::from_raw(1 << bit.raw());
         let paddr = PhysAddr::new(
-            Self::side_line_addr(entry, new_side, bit, line).raw()
-                + addr.line_offset() as u64,
+            Self::side_line_addr(entry, new_side, bit, line).raw() + addr.line_offset() as u64,
         );
         let r = self.machine.write(core, paddr, data, true);
         self.handle_tx_evictions(r.tx_evictions);
@@ -543,11 +543,12 @@ impl TxnEngine for Ssp {
                 // TLB entry. Reads are redirected per line.
             }
             let paddr_line = self.current_line_addr(vpn, span.addr.line_index());
-            let paddr =
-                PhysAddr::new(paddr_line.raw() + span.addr.line_offset() as u64);
-            let r = self
-                .machine
-                .read(core, paddr, &mut buf[span.buf_offset..span.buf_offset + span.len]);
+            let paddr = PhysAddr::new(paddr_line.raw() + span.addr.line_offset() as u64);
+            let r = self.machine.read(
+                core,
+                paddr,
+                &mut buf[span.buf_offset..span.buf_offset + span.len],
+            );
             self.handle_tx_evictions(r.tx_evictions);
         }
     }
@@ -603,8 +604,7 @@ impl TxnEngine for Ssp {
         for &(vpn, updated) in &pages {
             let sid = self.cache.sid_of(vpn).expect("written page has a slot");
             let entry = self.cache.entry(sid).expect("entry exists");
-            let new_committed =
-                LineBitmap::commit_merge(entry.committed, entry.current, updated);
+            let new_committed = LineBitmap::commit_merge(entry.committed, entry.current, updated);
             self.journal.append(Record::CommitMeta {
                 sid,
                 tid,
@@ -666,7 +666,8 @@ impl TxnEngine for Ssp {
                         .machine
                         .write(core, record.paddr, &record.old_data, false);
                     self.handle_tx_evictions(r.tx_evictions);
-                    self.machine.flush(Some(core), record.paddr, WriteClass::Data);
+                    self.machine
+                        .flush(Some(core), record.paddr, WriteClass::Data);
                 }
             }
             self.fallback.reset(&mut self.machine, Some(core));

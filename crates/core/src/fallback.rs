@@ -67,12 +67,7 @@ impl FallbackLog {
     /// Appends and immediately persists an undo record, charging the
     /// blocking persist latency to `core` — the fall-back path is slow by
     /// design.
-    pub fn append(
-        &mut self,
-        machine: &mut Machine,
-        core: CoreId,
-        record: &UndoRecord,
-    ) {
+    pub fn append(&mut self, machine: &mut Machine, core: CoreId, record: &UndoRecord) {
         let mut buf = [0u8; UNDO_RECORD_BYTES as usize];
         buf[0..4].copy_from_slice(&record.tid.to_le_bytes());
         buf[4..12].copy_from_slice(&record.vaddr.raw().to_le_bytes());

@@ -273,12 +273,7 @@ impl MetaJournal {
             "metadata journal ring overflow; checkpoint was not run"
         );
         let buf = std::mem::take(&mut self.buffer);
-        machine.persist_bytes(
-            core,
-            self.addr(self.head),
-            &buf,
-            WriteClass::MetaJournal,
-        );
+        machine.persist_bytes(core, self.addr(self.head), &buf, WriteClass::MetaJournal);
         self.head += len;
         buf.len()
     }

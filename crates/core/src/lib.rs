@@ -6,14 +6,14 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
-pub mod engine;
-pub mod fallback;
 pub mod config;
 pub mod consolidate;
+pub mod engine;
+pub mod fallback;
 pub mod journal;
 pub mod ssp_cache;
 pub mod write_set;
 
 pub use bitmap::LineBitmap;
-pub use engine::Ssp;
 pub use config::SspConfig;
+pub use engine::Ssp;

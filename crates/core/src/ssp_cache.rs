@@ -197,11 +197,7 @@ impl SspCache {
                         e.committed.is_zero()
                             && e.core_refs == 0
                             && !e.consolidating
-                            && tlb_holders
-                                .get(&e.vpn.raw())
-                                .copied()
-                                .unwrap_or(0)
-                                == 0
+                            && tlb_holders.get(&e.vpn.raw()).copied().unwrap_or(0) == 0
                     })
                 })
             })

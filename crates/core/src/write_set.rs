@@ -68,9 +68,7 @@ impl WriteSetBuffer {
 
     /// Whether `line` of `vpn` is in the write set.
     pub fn contains(&self, vpn: Vpn, line: LineIdx) -> bool {
-        self.pages
-            .get(&vpn.raw())
-            .is_some_and(|b| b.get(line))
+        self.pages.get(&vpn.raw()).is_some_and(|b| b.get(line))
     }
 
     /// Records a write to `line` of `vpn`.

@@ -34,7 +34,11 @@ fn many_checkpoint_epochs_then_crash() {
     for i in 0..300u64 {
         commit_u64(&mut e, addr.add((i % 16) * 8), i);
     }
-    assert!(e.checkpoints() > 255, "epoch must wrap: {}", e.checkpoints());
+    assert!(
+        e.checkpoints() > 255,
+        "epoch must wrap: {}",
+        e.checkpoints()
+    );
     e.crash_and_recover();
     for i in 284..300u64 {
         assert_eq!(read_u64(&mut e, addr.add((i % 16) * 8)), i);

@@ -173,7 +173,7 @@ fn random_torture_at_256b_granularity() {
                 crashed = true;
                 break;
             }
-            let addr = pages[rng.gen_range(0..4)].add(rng.gen_range(0..512u64) * 8);
+            let addr = pages[rng.gen_range(0..4usize)].add(rng.gen_range(0..512u64) * 8);
             let val = rng.gen::<u64>().to_le_bytes();
             e.store(C0, addr, &val);
             oracle.record_store(C0, addr, &val);

@@ -1,0 +1,158 @@
+//! # criterion (offline shim)
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of the `criterion` API the bench targets use: [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed
+//! up briefly and then timed over enough iterations to fill a fixed
+//! measurement window; the mean time per iteration is printed in a
+//! criterion-like one-line format. Good enough for relative comparisons
+//! and for keeping `cargo bench` wired up end to end.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly ([`Criterion::bench_function`]).
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `body` over the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: run without recording.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(body());
+        }
+        // Measurement: batches of doubling size until the window is full.
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.result = Some((iters, elapsed));
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window (mirrors criterion's builder API).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the measurement window (mirrors criterion's builder API).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Benchmarks `body` under `name` and prints the mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            result: None,
+        };
+        body(&mut b);
+        match b.result {
+            Some((iters, elapsed)) if iters > 0 => {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{name:<40} time: [{} per iter, {iters} iters]",
+                    fmt_ns(per_iter)
+                );
+            }
+            _ => println!("{name:<40} time: [no iterations recorded]"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut n = 0u64;
+        c.bench_function("noop", |b| b.iter(|| n = n.wrapping_add(1)));
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+    }
+}

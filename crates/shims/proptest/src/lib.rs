@@ -1,0 +1,364 @@
+//! # proptest (offline shim)
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of the `proptest` API the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges, tuples
+//!   of strategies, [`Just`], and [`any`] (via [`Arbitrary`]).
+//! * `proptest::collection::vec` for variable-length operation sequences.
+//! * The [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//!   [`prop_oneof!`] (weighted and unweighted), [`prop_assert!`] and
+//!   [`prop_assert_eq!`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: generation
+//! is *deterministic* (seeded per test from the test name, then by case
+//! index) so CI failures reproduce exactly, and there is *no shrinking* —
+//! a failing case panics with the case number so it can be replayed.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The RNG handed to strategies; fixed so strategies stay object-simple.
+pub type TestRng = SmallRng;
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen_fn: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    gen_fn: Box<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// See [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy producing any value of `T` ([`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// A weighted union of type-erased strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u32,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total_weight > 0, "prop_oneof!: zero total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("prop_oneof!: weights exhausted")
+    }
+}
+
+/// Derives a stable 64-bit seed from a test's name, so each property gets
+/// its own deterministic stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds the per-case RNG for case number `case` of a property.
+pub fn case_rng(test_seed: u64, case: u32) -> TestRng {
+    let mut seeder = TestRng::seed_from_u64(test_seed ^ ((case as u64) << 32 | 0x5EED));
+    TestRng::seed_from_u64(seeder.next_u64())
+}
+
+/// Picks one strategy among several (optionally weighted), like
+/// `proptest::prop_oneof!`. All arms must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::case_rng(test_seed, case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)+
+                let run = ::std::panic::AssertUnwindSafe(|| { $body });
+                if let Err(err) = ::std::panic::catch_unwind(run) {
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{} (no shrinking)",
+                        stringify!($name), case, config.cases
+                    );
+                    ::std::panic::resume_unwind(err);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(u64),
+        Del(u64),
+        Noop,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (0u8..4, any::<u8>())) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn oneof_and_vec(ops in collection::vec(prop_oneof![
+            3 => (0u64..10).prop_map(Op::Put),
+            1 => (0u64..10).prop_map(Op::Del),
+            1 => Just(Op::Noop),
+        ], 1..50)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test() {
+        let s = collection::vec(0u64..1000, 1..20);
+        let mut r1 = crate::case_rng(42, 0);
+        let mut r2 = crate::case_rng(42, 0);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

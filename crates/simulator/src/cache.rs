@@ -106,10 +106,7 @@ impl SetAssoc {
         if set.len() <= self.ways {
             return None;
         }
-        let victim_pos = set
-            .iter()
-            .rposition(|s| !s.tx)
-            .unwrap_or(set.len() - 1);
+        let victim_pos = set.iter().rposition(|s| !s.tx).unwrap_or(set.len() - 1);
         Some(set.remove(victim_pos))
     }
 
@@ -395,7 +392,10 @@ impl CacheHierarchy {
             None => {
                 // Inclusive invariant normally guarantees an L3 copy; if it
                 // was lost, reinsert.
-                if let Some(v) = self.l3.insert(Slot { dirty: true, ..slot }) {
+                if let Some(v) = self.l3.insert(Slot {
+                    dirty: true,
+                    ..slot
+                }) {
                     // Cannot recurse into evict helper here without extra
                     // state; handle the victim inline below.
                     self.handle_l3_victim_basic(v, result);
@@ -990,10 +990,8 @@ mod tests {
         );
         assert!(flushed.is_some());
         assert_eq!(
-            rig.mem.read_line(
-                PhysAddr::new(addr).ppn(),
-                PhysAddr::new(addr).line_index()
-            )[0],
+            rig.mem
+                .read_line(PhysAddr::new(addr).ppn(), PhysAddr::new(addr).line_index())[0],
             0xbb
         );
     }

@@ -216,16 +216,19 @@ impl Machine {
         let kind = PhysMem::kind_of_addr(addr);
         for i in 0..lines {
             let line_addr = PhysAddr::new(first_line + i * LINE_SIZE as u64);
-            let cycles =
-                self.timing
-                    .access_cycles(&self.cfg, &mut self.stats, kind, line_addr, AccessKind::Write);
+            let cycles = self.timing.access_cycles(
+                &self.cfg,
+                &mut self.stats,
+                kind,
+                line_addr,
+                AccessKind::Write,
+            );
             match kind {
                 crate::timing::MemKind::Dram => self.stats.dram_writes += 1,
                 crate::timing::MemKind::Nvram => self.stats.record_nvram_write(class),
             }
             if let Some(c) = core {
-                self.core_cycles[c.index()] +=
-                    (cycles / self.cfg.persist_mlp.max(1) as u64).max(1);
+                self.core_cycles[c.index()] += (cycles / self.cfg.persist_mlp.max(1) as u64).max(1);
             }
         }
     }
@@ -289,9 +292,9 @@ impl Machine {
         class: WriteClass,
     ) -> AccessResult {
         let kind = PhysMem::kind_of_addr(addr);
-        let _ = self
-            .timing
-            .access_cycles(&self.cfg, &mut self.stats, kind, addr, AccessKind::Write);
+        let _ =
+            self.timing
+                .access_cycles(&self.cfg, &mut self.stats, kind, addr, AccessKind::Write);
         match kind {
             crate::timing::MemKind::Dram => self.stats.dram_writes += 1,
             crate::timing::MemKind::Nvram => self.stats.record_nvram_write(class),

@@ -22,20 +22,48 @@ fn addr_of(page: u64, line: u64) -> PhysAddr {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { core: u8, page: u64, line: u64, byte: u8 },
-    Read { core: u8, page: u64, line: u64 },
-    Flush { core: u8, page: u64, line: u64 },
-    Discard { page: u64, line: u64 },
+    Write {
+        core: u8,
+        page: u64,
+        line: u64,
+        byte: u8,
+    },
+    Read {
+        core: u8,
+        page: u64,
+        line: u64,
+    },
+    Flush {
+        core: u8,
+        page: u64,
+        line: u64,
+    },
+    Discard {
+        page: u64,
+        line: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..4, 0..PAGES, 0..SLOTS_PER_PAGE, any::<u8>())
-            .prop_map(|(core, page, line, byte)| Op::Write { core, page, line, byte }),
-        (0u8..4, 0..PAGES, 0..SLOTS_PER_PAGE)
-            .prop_map(|(core, page, line)| Op::Read { core, page, line }),
-        (0u8..4, 0..PAGES, 0..SLOTS_PER_PAGE)
-            .prop_map(|(core, page, line)| Op::Flush { core, page, line }),
+        (0u8..4, 0..PAGES, 0..SLOTS_PER_PAGE, any::<u8>()).prop_map(|(core, page, line, byte)| {
+            Op::Write {
+                core,
+                page,
+                line,
+                byte,
+            }
+        }),
+        (0u8..4, 0..PAGES, 0..SLOTS_PER_PAGE).prop_map(|(core, page, line)| Op::Read {
+            core,
+            page,
+            line
+        }),
+        (0u8..4, 0..PAGES, 0..SLOTS_PER_PAGE).prop_map(|(core, page, line)| Op::Flush {
+            core,
+            page,
+            line
+        }),
         (0..PAGES, 0..SLOTS_PER_PAGE).prop_map(|(page, line)| Op::Discard { page, line }),
     ]
 }

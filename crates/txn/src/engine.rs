@@ -151,7 +151,7 @@ impl WriteSetTracker {
     /// Folds this transaction into `stats` as committed and clears it.
     pub fn fold_commit(&mut self, stats: &mut TxnStats) {
         stats.committed += 1;
-        stats.lines_written_sum += self.lines() ;
+        stats.lines_written_sum += self.lines();
         stats.pages_written_sum += self.pages();
         stats.pages_written_max = stats.pages_written_max.max(self.pages());
         self.lines.clear();

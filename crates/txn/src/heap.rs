@@ -23,7 +23,10 @@ const HDR_BUMP: u64 = 0;
 const HDR_FREELISTS: u64 = 8;
 
 fn class_of(size: usize) -> usize {
-    assert!(size > 0 && size <= MAX_BLOCK, "invalid allocation size {size}");
+    assert!(
+        size > 0 && size <= MAX_BLOCK,
+        "invalid allocation size {size}"
+    );
     let rounded = size.max(MIN_BLOCK).next_power_of_two();
     (rounded.trailing_zeros() - MIN_BLOCK.trailing_zeros()) as usize
 }

@@ -122,11 +122,7 @@ impl Oracle {
                 let addr = start + off as u64;
                 let page_left = 4096 - (addr % 4096) as usize;
                 let chunk = page_left.min(run.len() - off);
-                engine.load(
-                    core,
-                    VirtAddr::new(addr),
-                    &mut actual[off..off + chunk],
-                );
+                engine.load(core, VirtAddr::new(addr), &mut actual[off..off + chunk]);
                 off += chunk;
             }
             for (i, (&exp, &act)) in run.iter().zip(actual.iter()).enumerate() {

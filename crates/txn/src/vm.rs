@@ -181,9 +181,7 @@ impl VmManager {
     /// Translates a full virtual address to a physical address.
     pub fn translate_addr(&self, addr: VirtAddr) -> Option<PhysAddr> {
         let ppn = self.translate(addr.vpn())?;
-        Some(PhysAddr::new(
-            ppn.base().raw() + addr.page_offset() as u64,
-        ))
+        Some(PhysAddr::new(ppn.base().raw() + addr.page_offset() as u64))
     }
 
     /// Atomically repoints `vpn` at `ppn` (consolidation, shadow-paging

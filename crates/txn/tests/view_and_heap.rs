@@ -117,7 +117,10 @@ fn heap_alloc_returns_disjoint_blocks() {
     let heap = PersistentHeap::create(&mut e, C0);
     let mut blocks = Vec::new();
     for size in [16usize, 24, 48, 64, 100, 256, 1024, 4096, 16, 4096] {
-        blocks.push((heap.alloc(&mut e, C0, size), size.next_power_of_two().max(16)));
+        blocks.push((
+            heap.alloc(&mut e, C0, size),
+            size.next_power_of_two().max(16),
+        ));
     }
     e.commit(C0);
     // No two blocks overlap.

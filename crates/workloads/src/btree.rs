@@ -117,7 +117,12 @@ impl BTree {
         i: usize,
         c: &NodeRef,
     ) {
-        view::write_u64(engine, core, n.0.add(OFF_CHILDREN + i as u64 * 8), c.0.raw());
+        view::write_u64(
+            engine,
+            core,
+            n.0.add(OFF_CHILDREN + i as u64 * 8),
+            c.0.raw(),
+        );
     }
 
     /// Looks a key up.

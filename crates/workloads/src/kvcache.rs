@@ -56,7 +56,10 @@ impl KvCache {
         capacity: u64,
         buckets: u64,
     ) -> Self {
-        assert!(capacity > 0 && buckets > 0, "capacity and buckets must be positive");
+        assert!(
+            capacity > 0 && buckets > 0,
+            "capacity and buckets must be positive"
+        );
         let header = engine.map_new_page(core).base();
         let pages = (buckets * 8).div_ceil(PAGE_SIZE as u64);
         let first = engine.map_new_page(core);
@@ -173,12 +176,7 @@ impl KvCache {
 
     /// GET: returns the value and promotes the entry to MRU (the LRU
     /// update is itself a persistent write, as in PM-aware memcached).
-    pub fn get(
-        &self,
-        e: &mut dyn TxnEngine,
-        c: CoreId,
-        key: u64,
-    ) -> Option<[u8; VALUE_BYTES]> {
+    pub fn get(&self, e: &mut dyn TxnEngine, c: CoreId, key: u64) -> Option<[u8; VALUE_BYTES]> {
         let node = self.find(e, c, key)?;
         let mut value = [0u8; VALUE_BYTES];
         e.load(c, node.add(OFF_VALUE), &mut value);

@@ -336,7 +336,7 @@ impl RbTree {
                         self.set_fld(e, c, w, OFF_COLOR, RED);
                         self.rotate_right(e, c, w);
                         let xp2 = self.parent(e, c, x);
-                    w = self.right(e, c, xp2);
+                        w = self.right(e, c, xp2);
                     }
                     let xp = self.parent(e, c, x);
                     let xpc = self.color(e, c, xp);
@@ -367,7 +367,7 @@ impl RbTree {
                         self.set_fld(e, c, w, OFF_COLOR, RED);
                         self.rotate_left(e, c, w);
                         let xp2 = self.parent(e, c, x);
-                    w = self.left(e, c, xp2);
+                        w = self.left(e, c, xp2);
                     }
                     let xp = self.parent(e, c, x);
                     let xpc = self.color(e, c, xp);
@@ -588,7 +588,10 @@ mod tests {
             }
         }
         t.check_invariants(&mut e, C0);
-        assert_eq!(t.keys(&mut e, C0), model.keys().copied().collect::<Vec<_>>());
+        assert_eq!(
+            t.keys(&mut e, C0),
+            model.keys().copied().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -622,8 +625,8 @@ mod tests {
             e.commit(C0);
         }
         let s = e.txn_stats();
-        let lines =
-            (s.lines_written_sum - base.lines_written_sum) as f64 / (s.committed - base.committed) as f64;
+        let lines = (s.lines_written_sum - base.lines_written_sum) as f64
+            / (s.committed - base.committed) as f64;
         assert!(lines > 3.0, "avg lines {lines}");
     }
 }

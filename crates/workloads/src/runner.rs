@@ -90,7 +90,11 @@ impl RunResult {
 /// # Panics
 ///
 /// Panics if `cfg.threads` is zero or exceeds the machine's core count.
-pub fn run<E: TxnEngine>(engine: &mut E, workload: &mut dyn Workload, cfg: &RunConfig) -> RunResult {
+pub fn run<E: TxnEngine>(
+    engine: &mut E,
+    workload: &mut dyn Workload,
+    cfg: &RunConfig,
+) -> RunResult {
     assert!(cfg.threads >= 1, "at least one thread");
     assert!(
         cfg.threads <= engine.machine().config().cores,

@@ -102,11 +102,7 @@ impl VacationWorkload {
     }
 
     /// Sums reservation counters across customers (verification helper).
-    pub fn total_customer_reservations(
-        &self,
-        engine: &mut dyn TxnEngine,
-        core: CoreId,
-    ) -> u64 {
+    pub fn total_customer_reservations(&self, engine: &mut dyn TxnEngine, core: CoreId) -> u64 {
         let t = self.customers.expect("setup ran");
         (0..t.rows)
             .map(|i| view::read_u64(engine, core, t.row(i).add(OFF_RESERVATIONS)))
@@ -151,12 +147,7 @@ impl Workload for VacationWorkload {
                 if i >= self.rows {
                     break;
                 }
-                view::write_u64(
-                    engine,
-                    core,
-                    customers.row(i).add(OFF_BALANCE),
-                    1_000_000,
-                );
+                view::write_u64(engine, core, customers.row(i).add(OFF_BALANCE), 1_000_000);
                 view::write_u64(engine, core, customers.row(i).add(OFF_RESERVATIONS), 0);
                 i += 1;
             }

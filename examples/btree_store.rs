@@ -52,7 +52,10 @@ fn main() {
         assert_eq!(tree.get(&mut engine, core, k), Some(k * 1000));
     }
     assert_eq!(tree.get(&mut engine, core, 10_000), None);
-    println!("verified {} records after recovery; torn batch absent", keys.len());
+    println!(
+        "verified {} records after recovery; torn batch absent",
+        keys.len()
+    );
 
     // Point lookups and deletes keep working post-recovery.
     engine.begin(core);

@@ -27,7 +27,9 @@ fn torture<E: TxnEngine>(engine: &mut E, seed: u64) -> u64 {
     let core = CoreId::new(0);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut oracle = Oracle::new();
-    let pages: Vec<VirtAddr> = (0..PAGES).map(|_| engine.map_new_page(core).base()).collect();
+    let pages: Vec<VirtAddr> = (0..PAGES)
+        .map(|_| engine.map_new_page(core).base())
+        .collect();
     let mut crashes = 0;
 
     for round in 0..ROUNDS {
@@ -49,7 +51,7 @@ fn torture<E: TxnEngine>(engine: &mut E, seed: u64) -> u64 {
                     break;
                 }
                 let page = pages[rng.gen_range(0..PAGES as usize)];
-                let addr = page.add(rng.gen_range(0..512) * 8);
+                let addr = page.add(rng.gen_range(0..512u64) * 8);
                 let value = rng.gen::<u64>().to_le_bytes();
                 engine.store(core, addr, &value);
                 oracle.record_store(core, addr, &value);

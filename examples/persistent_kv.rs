@@ -25,11 +25,7 @@ fn drive<E: TxnEngine>(engine: &mut E) -> (f64, u64, u64) {
         seed: 42,
     };
     let result = run(engine, &mut workload, &cfg);
-    (
-        result.tps,
-        result.nvram_writes(),
-        result.logging_writes(),
-    )
+    (result.tps, result.nvram_writes(), result.logging_writes())
 }
 
 fn main() {

@@ -46,7 +46,10 @@ fn main() {
 
     let stats = engine.machine().stats();
     println!("\nNVRAM write accounting:");
-    println!("  data writes:        {}", stats.nvram_writes(WriteClass::Data));
+    println!(
+        "  data writes:        {}",
+        stats.nvram_writes(WriteClass::Data)
+    );
     println!(
         "  metadata journal:   {}",
         stats.nvram_writes(WriteClass::MetaJournal)

@@ -156,7 +156,7 @@ fn four_cores_crash_mid_flight() {
         }
         for step in 0..6 {
             for (ci, &c) in cores.iter().enumerate() {
-                let addr = pages[ci][rng.gen_range(0..3)].add(rng.gen_range(0..512u64) * 8);
+                let addr = pages[ci][rng.gen_range(0..3usize)].add(rng.gen_range(0..512u64) * 8);
                 let val = rng.gen::<u64>().to_le_bytes();
                 engine.store(c, addr, &val);
                 oracle.record_store(c, addr, &val);

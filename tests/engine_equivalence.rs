@@ -17,7 +17,11 @@ const C0: CoreId = CoreId::new(0);
 #[derive(Debug, Clone)]
 enum Op {
     Begin,
-    Store { page: usize, offset: u64, value: u64 },
+    Store {
+        page: usize,
+        offset: u64,
+        value: u64,
+    },
     Commit,
     Abort,
     Crash,

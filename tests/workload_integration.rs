@@ -176,6 +176,10 @@ fn rbtree_on_ssp_with_small_tlb_and_fallback_pressure() {
     // Under constant fall-back pressure pages are often pinned when they
     // leave the TLB, so consolidation may legitimately stay quiet; the
     // fall-back path itself must have been exercised heavily though.
-    assert!(e.txn_stats().fallbacks > 0, "fallbacks: {}", e.txn_stats().fallbacks);
+    assert!(
+        e.txn_stats().fallbacks > 0,
+        "fallbacks: {}",
+        e.txn_stats().fallbacks
+    );
     assert!(e.checkpoints() > 0);
 }
