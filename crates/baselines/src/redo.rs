@@ -255,7 +255,10 @@ impl TxnEngine for RedoLog {
             .as_ref()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
         let tid = txn.tid;
-        let lines: Vec<(u64, u64)> = txn.lines.iter().map(|(&p, &v)| (p, v)).collect();
+        // Sorted: the map's hash order varies per instance, and drain
+        // order reaches the row-buffer model (determinism contract).
+        let mut lines: Vec<(u64, u64)> = txn.lines.iter().map(|(&p, &v)| (p, v)).collect();
+        lines.sort_unstable_by_key(|&(p, _)| p);
 
         // An earlier transaction's data drain must finish before this
         // commit's log can persist (log order).

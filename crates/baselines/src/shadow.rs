@@ -247,7 +247,12 @@ impl TxnEngine for ShadowPaging {
         }
         // 2. Journal the remap list + commit mark, then repoint the page
         //    table (replayed at recovery for torn multi-page commits).
-        for (&vpn_raw, &shadow) in &txn.shadows {
+        //    Sorted by VPN: the map's hash order varies per instance, and
+        //    journal order, free-list order and TLB refills all reach the
+        //    machine (determinism contract of `TxnEngine`).
+        let mut remaps: Vec<(u64, Ppn)> = txn.shadows.iter().map(|(&v, &s)| (v, s)).collect();
+        remaps.sort_unstable_by_key(|&(v, _)| v);
+        for &(vpn_raw, shadow) in &remaps {
             let entry = LogEntry {
                 tid: txn.tid,
                 paddr: shadow.base(),
@@ -260,7 +265,7 @@ impl TxnEngine for ShadowPaging {
         }
         self.logs[core.index()].persist_head(&mut self.machine, Some(core));
         self.commits[core.index()].commit(&mut self.machine, Some(core), txn.tid);
-        for (&vpn_raw, &shadow) in &txn.shadows {
+        for &(vpn_raw, shadow) in &remaps {
             let vpn = Vpn::new(vpn_raw);
             let old = self.vm.translate(vpn).expect("mapped page");
             self.vm.update_mapping(&mut self.machine, vpn, shadow);
@@ -280,7 +285,11 @@ impl TxnEngine for ShadowPaging {
         let mut txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
-        for (_, shadow) in txn.shadows.drain() {
+        // Sorted by VPN: recycling order decides future frame allocation,
+        // and the map's hash order varies per instance.
+        let mut dropped: Vec<(u64, Ppn)> = txn.shadows.drain().collect();
+        dropped.sort_unstable_by_key(|&(v, _)| v);
+        for (_, shadow) in dropped {
             // Shadow frames were never published: just recycle them.
             self.free_frames.push(shadow);
         }

@@ -220,8 +220,11 @@ impl TxnEngine for UndoLog {
         let mut txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
-        // Flush the write set so the new values are durable.
-        let lines: Vec<u64> = txn.logged.iter().copied().collect();
+        // Flush the write set so the new values are durable. Sorted: the
+        // set's hash order varies per instance, and flush order reaches
+        // the row-buffer model (determinism contract of `TxnEngine`).
+        let mut lines: Vec<u64> = txn.logged.iter().copied().collect();
+        lines.sort_unstable();
         for line in lines {
             self.machine
                 .flush(Some(core), PhysAddr::new(line), WriteClass::Data);

@@ -1,5 +1,13 @@
 //! Figure 5 — transactional throughput of the seven microbenchmarks,
 //! normalised to UNDO-LOG, for one thread (5a) and four threads (5b).
+//!
+//! Since the sharded driver landed, the 5b cells execute on four real
+//! worker threads, each owning a disjoint machine shard
+//! (`MachineConfig::shard_slice`: 1/4 of the L3 and of the DRAM/NVRAM
+//! banks). Cross-core L3/bank contention is therefore modelled by the
+//! capacity/bank slicing, not by simulated interleaving — the engine
+//! *ordering* still matches the paper's 5b, but the absolute contention
+//! penalty is milder than the paper's shared contended machine.
 
 use ssp_bench::{
     env_setup, fmt_ratio, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind,
@@ -37,4 +45,7 @@ fn main() {
     );
     println!("\npaper shape: SSP > REDO-LOG > UNDO-LOG on every workload;");
     println!("single-thread means: SSP ~1.9x UNDO, ~1.3x REDO; 4 threads: ~2.4x / ~1.4x");
+    println!("note: 5b runs on four disjoint machine shards (real threads);");
+    println!("contention appears as 1/4 L3 + 1/4 memory banks per core, so the");
+    println!("shape, not the absolute contention penalty, is the comparison");
 }

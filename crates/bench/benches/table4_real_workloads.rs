@@ -3,12 +3,15 @@
 //! NVRAM write-traffic saving (Table 5), plus the consolidation share of
 //! SSP's writes that Section 5.4 quotes (15% / 31%).
 
-use ssp_bench::{env_setup, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind};
+use ssp_bench::{env_setup, print_matrix, run_cell_shared, EngineKind, SspConfig, WorkloadKind};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::stats::WriteClass;
 
 fn main() {
-    // "Four clients" in the paper: four simulated cores.
+    // "Four clients" in the paper: four simulated cores hitting ONE
+    // shared service (one LRU cache / one reservation DB), so this table
+    // stays on the legacy shared-machine driver — disjoint shards would
+    // turn it into four independent quarter-size services.
     let cfg = MachineConfig::default().with_cores(4);
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(4);
@@ -21,7 +24,7 @@ fn main() {
         let mut writes = Vec::new();
         let mut ssp_result = None;
         for ekind in EngineKind::PAPER {
-            let r = run_cell(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            let r = run_cell_shared(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
             tps.push(r.tps);
             writes.push(r.nvram_writes() as f64);
             if ekind == EngineKind::Ssp {

@@ -12,7 +12,9 @@ use ssp_core::engine::Ssp;
 pub use ssp_core::SspConfig;
 use ssp_simulator::config::MachineConfig;
 use ssp_txn::engine::TxnEngine;
-use ssp_workloads::runner::{run, RunConfig, RunResult, Workload};
+use ssp_workloads::runner::{
+    run, run_parallel, ExecMode, ParallelRun, RunConfig, RunResult, Workload,
+};
 use ssp_workloads::{
     BTreeWorkload, HashWorkload, KeyDist, MemcachedWorkload, RbTreeWorkload, Sps, VacationWorkload,
 };
@@ -160,6 +162,21 @@ impl Scale {
         kv_capacity: 128,
         vacation_rows: 128,
     };
+
+    /// The per-worker share of this scale for a `threads`-way sharded run:
+    /// each worker operates its own partition of the total working set, so
+    /// the summed footprint stays constant as the thread count grows (the
+    /// paper's fixed-size multi-threaded setup).
+    pub fn per_shard(self, threads: usize) -> Scale {
+        let d = |x: u64| (x / threads as u64).max(16);
+        Scale {
+            keys: d(self.keys),
+            initial: d(self.initial),
+            sps_elems: d(self.sps_elems),
+            kv_capacity: d(self.kv_capacity),
+            vacation_rows: d(self.vacation_rows),
+        }
+    }
 }
 
 /// Builds a workload at the given scale.
@@ -199,7 +216,30 @@ pub fn make_workload(kind: WorkloadKind, scale: Scale) -> Box<dyn Workload> {
 }
 
 /// Runs one (engine, workload) cell of the evaluation matrix.
+///
+/// Single-threaded cells use the legacy single-machine driver; cells with
+/// `run_cfg.threads > 1` run real worker threads via
+/// [`run_cell_parallel`] and return the merged result.
 pub fn run_cell(
+    engine_kind: EngineKind,
+    workload_kind: WorkloadKind,
+    cfg: &MachineConfig,
+    ssp_cfg: &SspConfig,
+    scale: Scale,
+    run_cfg: &RunConfig,
+) -> RunResult {
+    if run_cfg.threads > 1 {
+        return run_cell_parallel(engine_kind, workload_kind, cfg, ssp_cfg, scale, run_cfg).result;
+    }
+    run_cell_shared(engine_kind, workload_kind, cfg, ssp_cfg, scale, run_cfg)
+}
+
+/// Runs one cell on the **legacy shared-machine driver** regardless of
+/// `run_cfg.threads`: all simulated cores drive *one* machine and *one*
+/// workload instance, round-robin on the calling thread. Table 4/5 use
+/// this — the paper's "four clients" hit one shared Memcached cache /
+/// reservation database, which disjoint shards cannot model.
+pub fn run_cell_shared(
     engine_kind: EngineKind,
     workload_kind: WorkloadKind,
     cfg: &MachineConfig,
@@ -228,6 +268,29 @@ pub fn run_cell(
     }
 }
 
+/// Runs one cell of the matrix on `run_cfg.threads` real worker threads:
+/// each worker owns a [`MachineConfig::shard_slice`] of `cfg`, a
+/// [`Scale::per_shard`] partition of the workload, and its own
+/// deterministic RNG stream (see the `ssp-workloads` runner docs for the
+/// determinism contract).
+pub fn run_cell_parallel(
+    engine_kind: EngineKind,
+    workload_kind: WorkloadKind,
+    cfg: &MachineConfig,
+    ssp_cfg: &SspConfig,
+    scale: Scale,
+    run_cfg: &RunConfig,
+) -> ParallelRun<BoxedEngine> {
+    let shard_cfg = cfg.shard_slice(run_cfg.threads);
+    let shard_scale = scale.per_shard(run_cfg.threads);
+    let ssp_cfg = ssp_cfg.clone();
+    run_parallel(
+        move |_w| make_engine(engine_kind, &shard_cfg, &ssp_cfg),
+        move |_w| make_workload(workload_kind, shard_scale),
+        run_cfg,
+    )
+}
+
 /// Default transaction counts for the measured phase.
 pub fn default_run_cfg(threads: usize) -> RunConfig {
     RunConfig {
@@ -235,6 +298,7 @@ pub fn default_run_cfg(threads: usize) -> RunConfig {
         warmup: 500,
         threads,
         seed: 0x55d0_2019,
+        mode: ExecMode::Threaded,
     }
 }
 
@@ -245,6 +309,7 @@ pub fn quick_run_cfg(threads: usize) -> RunConfig {
         warmup: 50,
         threads,
         seed: 0x55d0_2019,
+        mode: ExecMode::Threaded,
     }
 }
 
@@ -293,6 +358,7 @@ mod tests {
             warmup: 5,
             threads: 1,
             seed: 1,
+            mode: ExecMode::Threaded,
         };
         for ekind in EngineKind::PAPER {
             let r = run_cell(
@@ -317,6 +383,7 @@ mod tests {
             warmup: 2,
             threads: 1,
             seed: 2,
+            mode: ExecMode::Threaded,
         };
         for wkind in WorkloadKind::ALL {
             let r = run_cell(

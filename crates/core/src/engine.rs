@@ -95,6 +95,11 @@ pub struct Ssp {
     /// Next unused shadow-pool page for wear-levelling rotation (pages
     /// below the initial slot count are the slots' original spares).
     next_fresh_spare: u64,
+    /// Journal records replayed by the most recent [`recover`]; the
+    /// recovery-time bench reports this as the simulated replay work.
+    ///
+    /// [`recover`]: TxnEngine::recover
+    last_recovery_replayed: u64,
 }
 
 impl Ssp {
@@ -127,6 +132,7 @@ impl Ssp {
             next_tid: 1,
             checkpoints: 0,
             next_fresh_spare: slots as u64,
+            last_recovery_replayed: 0,
         }
     }
 
@@ -154,6 +160,12 @@ impl Ssp {
     /// folded into the persistent SSP cache by a checkpoint).
     pub fn journal_live_bytes(&self) -> u64 {
         self.journal.used_bytes()
+    }
+
+    /// Journal records replayed by the most recent recovery (zero before
+    /// the first crash+recover cycle).
+    pub fn last_recovery_replayed(&self) -> u64 {
+        self.last_recovery_replayed
     }
 
     /// How many SSP-cache slots were added beyond the `N×T+O` sizing.
@@ -582,7 +594,11 @@ impl TxnEngine for Ssp {
 
         // 1. Data persistence: flush every write-set line at its current
         //    (speculative-side) location; never overwrites committed data.
-        let pages: Vec<(Vpn, LineBitmap)> = self.wsets[core.index()].iter().collect();
+        //    Sorted by VPN: the write-set buffer's hash order varies per
+        //    instance, and flush/journal order reaches the machine
+        //    (determinism contract of `TxnEngine`).
+        let mut pages: Vec<(Vpn, LineBitmap)> = self.wsets[core.index()].iter().collect();
+        pages.sort_unstable_by_key(|&(v, _)| v.raw());
         for &(vpn, updated) in &pages {
             for bit in updated.iter_ones() {
                 let lines: Vec<LineIdx> = self.subpage_lines(bit).collect();
@@ -626,7 +642,8 @@ impl TxnEngine for Ssp {
         //    already left every TLB, checkpointing.
         self.wsets[core.index()].clear();
         txn.tracker.fold_commit(&mut self.stats);
-        let released: Vec<u64> = self.fallback_pages[core.index()].drain().collect();
+        let mut released: Vec<u64> = self.fallback_pages[core.index()].drain().collect();
+        released.sort_unstable();
         for (vpn, _) in pages {
             self.maybe_consolidate(vpn);
         }
@@ -641,8 +658,10 @@ impl TxnEngine for Ssp {
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
 
-        // Discard speculative copies and flip current bits back.
-        let pages: Vec<(Vpn, LineBitmap)> = self.wsets[core.index()].iter().collect();
+        // Discard speculative copies and flip current bits back (sorted
+        // by VPN; see the commit path).
+        let mut pages: Vec<(Vpn, LineBitmap)> = self.wsets[core.index()].iter().collect();
+        pages.sort_unstable_by_key(|&(v, _)| v.raw());
         for &(vpn, updated) in &pages {
             for bit in updated.iter_ones() {
                 let lines: Vec<LineIdx> = self.subpage_lines(bit).collect();
@@ -675,7 +694,8 @@ impl TxnEngine for Ssp {
 
         self.wsets[core.index()].clear();
         txn.tracker.fold_abort(&mut self.stats);
-        let released: Vec<u64> = self.fallback_pages[core.index()].drain().collect();
+        let mut released: Vec<u64> = self.fallback_pages[core.index()].drain().collect();
+        released.sort_unstable();
         for (vpn, _) in pages {
             self.maybe_consolidate(vpn);
         }
@@ -719,6 +739,7 @@ impl TxnEngine for Ssp {
         // 2. Replay the journal: first find committed transactions, then
         //    apply records in order (controller records always apply).
         let records = self.journal.read_live(&self.machine);
+        self.last_recovery_replayed = records.len() as u64;
         let committed_tids: std::collections::HashSet<u32> = records
             .iter()
             .filter_map(|r| match r {

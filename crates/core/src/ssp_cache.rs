@@ -317,7 +317,10 @@ impl SspCache {
     /// Writes every stale slot's persistent image (checkpointing's fold
     /// step) and returns how many slots were written.
     pub fn checkpoint(&mut self, machine: &mut Machine) -> usize {
-        let dirty: Vec<SlotId> = self.dirty.drain().collect();
+        // Sorted: the set's hash order varies per instance, and the
+        // checkpoint's persist order reaches the row-buffer model.
+        let mut dirty: Vec<SlotId> = self.dirty.drain().collect();
+        dirty.sort_unstable();
         let count = dirty.len();
         for sid in dirty {
             let addr = self.slot_addr(sid);

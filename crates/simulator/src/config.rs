@@ -146,6 +146,28 @@ impl MachineConfig {
         cfg.cores = threads;
         cfg
     }
+
+    /// The per-worker slice of this machine for a `threads`-way sharded
+    /// run: one core with its private L1/L2/DTLB at full size, plus a
+    /// 1/`threads` bank of the shared resources — L3 capacity and the
+    /// DRAM/NVRAM banks. The threaded driver gives each worker thread one
+    /// such slice so cores never contend on simulator state; the summed
+    /// slices model the paper's shared machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn shard_slice(&self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one shard is required");
+        let mut cfg = self.clone();
+        cfg.cores = 1;
+        // Keep at least one set so the slice stays a functional cache.
+        cfg.l3.size_bytes =
+            (self.l3.size_bytes / threads).max(self.l3.ways * crate::addr::LINE_SIZE);
+        cfg.dram.banks = (self.dram.banks / threads).max(1);
+        cfg.nvram.banks = (self.nvram.banks / threads).max(1);
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -208,5 +230,26 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn with_zero_cores_panics() {
         let _ = MachineConfig::default().with_cores(0);
+    }
+
+    #[test]
+    fn shard_slice_divides_shared_resources_only() {
+        let cfg = MachineConfig::default().shard_slice(4);
+        assert_eq!(cfg.cores, 1);
+        assert_eq!(cfg.l3.size_bytes, 3 * 1024 * 1024);
+        assert_eq!(cfg.dram.banks, 16);
+        assert_eq!(cfg.nvram.banks, 8);
+        // Private per-core resources keep their full size.
+        assert_eq!(cfg.l1, MachineConfig::default().l1);
+        assert_eq!(cfg.l2, MachineConfig::default().l2);
+        assert_eq!(cfg.dtlb_entries, 64);
+    }
+
+    #[test]
+    fn shard_slice_never_degenerates() {
+        let cfg = MachineConfig::default().shard_slice(1024);
+        assert!(cfg.l3.sets() >= 1);
+        assert_eq!(cfg.dram.banks, 1);
+        assert_eq!(cfg.nvram.banks, 1);
     }
 }

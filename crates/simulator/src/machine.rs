@@ -408,6 +408,13 @@ impl Machine {
     pub fn resident_nvram_frames(&self) -> usize {
         self.mem.resident_nvram_frames()
     }
+
+    /// Order-independent hash of the NVRAM region's contents (see
+    /// [`PhysMem::nvram_fingerprint`]). Crash first to fingerprint only
+    /// the *durable* state — dirty cached lines have not reached memory.
+    pub fn nvram_fingerprint(&self) -> u64 {
+        self.mem.nvram_fingerprint()
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,35 @@ impl PhysMem {
     pub fn resident_nvram_frames(&self) -> usize {
         self.frames.keys().filter(|&&p| p >= NVRAM_PPN_BASE).count()
     }
+
+    /// FNV-1a hash over the NVRAM region (frames visited in ascending PPN
+    /// order, all-zero frames excluded so a zeroed frame equals an absent
+    /// one). Two memories with the same persistent contents hash equal;
+    /// the threaded-equivalence tests compare shards with this.
+    pub fn nvram_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut nvram: Vec<(u64, &PageFrame)> = self
+            .frames
+            .iter()
+            .filter(|(&p, _)| p >= NVRAM_PPN_BASE)
+            .map(|(&p, f)| (p, f))
+            .collect();
+        nvram.sort_unstable_by_key(|&(p, _)| p);
+        let mut h = FNV_OFFSET;
+        for (ppn, frame) in nvram {
+            if frame.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for byte in ppn.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+            }
+            for &byte in frame.iter() {
+                h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +240,21 @@ mod tests {
         // Copy is by value: further writes to the source do not alias.
         mem.write_line(nv(0), LineIdx::new(7), &[1u8; 64]);
         assert_eq!(mem.read_line(nv(1), LineIdx::new(7)), [9u8; 64]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_nvram_contents_only() {
+        let mut a = PhysMem::new();
+        let mut b = PhysMem::new();
+        assert_eq!(a.nvram_fingerprint(), b.nvram_fingerprint());
+        a.write_line(nv(3), LineIdx::new(1), &[5u8; 64]);
+        assert_ne!(a.nvram_fingerprint(), b.nvram_fingerprint());
+        b.write_line(nv(3), LineIdx::new(1), &[5u8; 64]);
+        assert_eq!(a.nvram_fingerprint(), b.nvram_fingerprint());
+        // DRAM contents and zeroed NVRAM frames do not affect the hash.
+        a.write_line(Ppn::new(1), LineIdx::new(0), &[9u8; 64]);
+        b.write_line(nv(7), LineIdx::new(0), &[0u8; 64]);
+        assert_eq!(a.nvram_fingerprint(), b.nvram_fingerprint());
     }
 
     #[test]

@@ -136,6 +136,35 @@ impl MachineStats {
         self.nvram_writes(WriteClass::Log) + self.nvram_writes(WriteClass::MetaJournal)
     }
 
+    /// Counter-wise difference `self - base`; the runner uses this to
+    /// exclude setup and warm-up from a measured phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via arithmetic overflow) if any counter in
+    /// `base` exceeds the one in `self`.
+    pub fn diff(&self, base: &MachineStats) -> MachineStats {
+        let mut out = MachineStats::new();
+        for class in WriteClass::ALL {
+            out.nvram_writes[class.index()] =
+                self.nvram_writes[class.index()] - base.nvram_writes[class.index()];
+        }
+        out.nvram_reads = self.nvram_reads - base.nvram_reads;
+        out.dram_writes = self.dram_writes - base.dram_writes;
+        out.dram_reads = self.dram_reads - base.dram_reads;
+        out.l1_hits = self.l1_hits - base.l1_hits;
+        out.l2_hits = self.l2_hits - base.l2_hits;
+        out.l3_hits = self.l3_hits - base.l3_hits;
+        out.mem_accesses = self.mem_accesses - base.mem_accesses;
+        out.tlb_misses = self.tlb_misses - base.tlb_misses;
+        out.flip_broadcasts = self.flip_broadcasts - base.flip_broadcasts;
+        out.coherence_invalidations = self.coherence_invalidations - base.coherence_invalidations;
+        out.writebacks = self.writebacks - base.writebacks;
+        out.row_hits = self.row_hits - base.row_hits;
+        out.row_misses = self.row_misses - base.row_misses;
+        out
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &MachineStats) {
         for class in WriteClass::ALL {
@@ -210,6 +239,20 @@ mod tests {
         assert_eq!(a.nvram_writes_total(), 5);
         assert_eq!(a.tlb_misses, 5);
         assert_eq!(a.flip_broadcasts, 7);
+    }
+
+    #[test]
+    fn diff_inverts_merge() {
+        let mut base = MachineStats::new();
+        base.record_nvram_writes(WriteClass::Log, 2);
+        base.row_hits = 5;
+        let mut total = base.clone();
+        let mut delta = MachineStats::new();
+        delta.record_nvram_write(WriteClass::Data);
+        delta.l1_hits = 9;
+        delta.row_misses = 1;
+        total.merge(&delta);
+        assert_eq!(total.diff(&base), delta);
     }
 
     #[test]

@@ -110,6 +110,41 @@ impl TxnStats {
             self.pages_written_sum as f64 / self.committed as f64
         }
     }
+
+    /// Adds another engine's statistics into this one. The threaded driver
+    /// folds per-worker statistics with this in worker-index order, so
+    /// merged results are independent of host scheduling.
+    pub fn merge(&mut self, other: &TxnStats) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.fallbacks += other.fallbacks;
+        self.lines_written_sum += other.lines_written_sum;
+        self.pages_written_sum += other.pages_written_sum;
+        self.pages_written_max = self.pages_written_max.max(other.pages_written_max);
+        self.stores += other.stores;
+        self.loads += other.loads;
+    }
+
+    /// Counter-wise difference `self - base`, used to exclude setup and
+    /// warm-up from a measured phase. `pages_written_max` is a high-water
+    /// mark and keeps the value in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via arithmetic overflow) if any counter in
+    /// `base` exceeds the one in `self`.
+    pub fn diff(&self, base: &TxnStats) -> TxnStats {
+        TxnStats {
+            committed: self.committed - base.committed,
+            aborted: self.aborted - base.aborted,
+            fallbacks: self.fallbacks - base.fallbacks,
+            lines_written_sum: self.lines_written_sum - base.lines_written_sum,
+            pages_written_sum: self.pages_written_sum - base.pages_written_sum,
+            pages_written_max: self.pages_written_max,
+            stores: self.stores - base.stores,
+            loads: self.loads - base.loads,
+        }
+    }
 }
 
 /// Tracks the distinct lines/pages written by one in-flight transaction.
@@ -173,7 +208,20 @@ impl WriteSetTracker {
 /// uncommitted ones disappear entirely. Isolation is the caller's job
 /// (Section 2.2 of the paper) — the drivers in `ssp-workloads` never run
 /// two transactions against overlapping data concurrently.
-pub trait TxnEngine {
+///
+/// # Threading
+///
+/// Engines are `Send` (they are plain owned data) so the threaded driver
+/// can move one engine shard into each worker thread. They are *not*
+/// `Sync`: a single engine instance is never shared between threads —
+/// cross-shard interactions are resolved deterministically when per-worker
+/// results are merged, at simulated-cycle granularity. Engines must also
+/// be *schedule-deterministic*: given the same call sequence they must
+/// perform the identical memory-access sequence, so anything derived from
+/// hash-map iteration order has to be sorted before it reaches the
+/// machine (see the commit paths of the engines in `ssp-core` and
+/// `ssp-baselines`).
+pub trait TxnEngine: Send {
     /// Engine name for reports ("SSP", "UNDO-LOG", ...).
     fn name(&self) -> &'static str;
 
@@ -226,6 +274,50 @@ pub trait TxnEngine {
     fn crash_and_recover(&mut self) {
         self.crash();
         self.recover();
+    }
+}
+
+// Boxed engines are engines, so type-erased factories (`ssp-bench`) can
+// feed the generic drivers in `ssp-workloads`.
+impl<T: TxnEngine + ?Sized> TxnEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn machine(&self) -> &Machine {
+        (**self).machine()
+    }
+    fn machine_mut(&mut self) -> &mut Machine {
+        (**self).machine_mut()
+    }
+    fn map_new_page(&mut self, core: CoreId) -> Vpn {
+        (**self).map_new_page(core)
+    }
+    fn begin(&mut self, core: CoreId) {
+        (**self).begin(core)
+    }
+    fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
+        (**self).load(core, addr, buf)
+    }
+    fn store(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
+        (**self).store(core, addr, data)
+    }
+    fn commit(&mut self, core: CoreId) {
+        (**self).commit(core)
+    }
+    fn abort(&mut self, core: CoreId) {
+        (**self).abort(core)
+    }
+    fn crash(&mut self) {
+        (**self).crash()
+    }
+    fn recover(&mut self) {
+        (**self).recover()
+    }
+    fn in_txn(&self, core: CoreId) -> bool {
+        (**self).in_txn(core)
+    }
+    fn txn_stats(&self) -> &TxnStats {
+        (**self).txn_stats()
     }
 }
 
@@ -312,5 +404,47 @@ mod tests {
         let s = TxnStats::default();
         assert_eq!(s.avg_lines_per_txn(), 0.0);
         assert_eq!(s.avg_pages_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_sums_and_keeps_high_water_mark() {
+        let mut a = TxnStats {
+            committed: 2,
+            pages_written_max: 7,
+            stores: 10,
+            ..TxnStats::default()
+        };
+        let b = TxnStats {
+            committed: 3,
+            aborted: 1,
+            pages_written_max: 4,
+            loads: 5,
+            ..TxnStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 5);
+        assert_eq!(a.aborted, 1);
+        assert_eq!(a.pages_written_max, 7);
+        assert_eq!(a.stores, 10);
+        assert_eq!(a.loads, 5);
+    }
+
+    #[test]
+    fn stats_diff_subtracts_counters() {
+        let base = TxnStats {
+            committed: 2,
+            stores: 4,
+            pages_written_max: 3,
+            ..TxnStats::default()
+        };
+        let mut total = base.clone();
+        total.committed += 5;
+        total.stores += 9;
+        total.pages_written_max = 6;
+        let d = total.diff(&base);
+        assert_eq!(d.committed, 5);
+        assert_eq!(d.stores, 9);
+        // High-water mark is global, not a difference.
+        assert_eq!(d.pages_written_max, 6);
     }
 }

@@ -10,7 +10,9 @@
 //! * [`kvcache`] — memcached-like LRU cache + memslap-style generator
 //! * [`vacation`] — STAMP-Vacation-like reservation OLTP emulation
 //! * [`dist`] — uniform and "80% of updates to 15% of keys" skew
-//! * [`runner`] — round-robin multi-core driver producing [`runner::RunResult`]
+//! * [`runner`] — the drivers: the sharded `std::thread` driver
+//!   ([`runner::run_parallel`]) and the legacy single-machine round-robin
+//!   driver ([`runner::run`]), both producing [`runner::RunResult`]
 
 #![warn(missing_docs)]
 
@@ -28,6 +30,8 @@ pub use dist::KeyDist;
 pub use hash::{HashTable, HashWorkload};
 pub use kvcache::{KvCache, MemcachedWorkload};
 pub use rbtree::{RbTree, RbTreeWorkload};
-pub use runner::{run, RunConfig, RunResult, Workload};
+pub use runner::{
+    run, run_parallel, ExecMode, ParallelRun, RunConfig, RunResult, ShardRun, Workload,
+};
 pub use sps::Sps;
 pub use vacation::VacationWorkload;

@@ -1,15 +1,47 @@
-//! The workload driver: runs transactions round-robin over the simulated
-//! cores and collects the measurements every figure and table is built
-//! from.
+//! The workload drivers: the legacy single-machine round-robin driver and
+//! the sharded multi-threaded driver that collect the measurements every
+//! figure and table is built from.
+//!
+//! # Threading model
+//!
+//! [`run_parallel`] shards the simulated machine per worker: worker `w`
+//! owns a full engine instance over a [`shard
+//! slice`](ssp_simulator::config::MachineConfig::shard_slice) of the
+//! machine (its core plus a 1/N bank of the shared LLC and memory
+//! channels) and a disjoint partition of the workload. Workers run on real
+//! [`std::thread`]s with no shared mutable state, so the simulator's hot
+//! path needs no locks; cross-core ordering is resolved *after* the run,
+//! at simulated-cycle granularity: per-worker statistics are merged in
+//! worker-index order and the run's wall-clock is the maximum per-shard
+//! cycle count, exactly as [`Machine::elapsed_cycles`] defines it for a
+//! shared machine.
+//!
+//! # Determinism contract
+//!
+//! Every worker derives its own [`SmallRng`] stream from
+//! (`cfg.seed`, worker index), so for a fixed [`RunConfig`] the merged
+//! [`RunResult`] counters and every shard's persistent state are
+//! **bit-identical across repeated runs and across host schedules** —
+//! [`ExecMode::Sequential`] replays the identical per-worker schedules
+//! round-robin on the calling thread and must produce byte-equal results
+//! (`tests/threaded_equivalence.rs` locks this in). Only the host-time
+//! measurements ([`ParallelRun::host_elapsed`]) are outside the contract.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ssp_simulator::cache::CoreId;
+use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::{MachineStats, WriteClass};
 use ssp_txn::engine::{TxnEngine, TxnStats};
 
 /// A benchmark program driving a [`TxnEngine`].
-pub trait Workload {
+///
+/// Workloads are `Send` (plain owned data) so the threaded driver can move
+/// one instance into each worker thread.
+pub trait Workload: Send {
     /// Display name ("BTree", "SPS", ...).
     fn name(&self) -> &'static str;
 
@@ -21,17 +53,46 @@ pub trait Workload {
     fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng);
 }
 
+// Boxed workloads are workloads, so the type-erased factories in
+// `ssp-bench` can feed the generic parallel driver.
+impl<T: Workload + ?Sized> Workload for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+        (**self).setup(engine, core)
+    }
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+        (**self).run_txn(engine, core, rng)
+    }
+}
+
+/// How [`run_parallel`] executes the per-worker schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One real `std::thread` per worker (the default).
+    #[default]
+    Threaded,
+    /// The reference schedule: the identical per-worker work, interleaved
+    /// round-robin at transaction granularity on the calling thread. Used
+    /// by the equivalence tests to pin the determinism contract.
+    Sequential,
+}
+
 /// Driver parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunConfig {
-    /// Measured transactions.
+    /// Measured transactions (split across the workers).
     pub txns: u64,
     /// Warm-up transactions excluded from the counters.
     pub warmup: u64,
-    /// Simulated threads (must not exceed the machine's cores).
+    /// Worker threads ([`run`]: simulated cores on the one machine, must
+    /// not exceed its core count; [`run_parallel`]: machine shards).
     pub threads: usize,
     /// RNG seed (runs are fully deterministic per seed).
     pub seed: u64,
+    /// Threaded or sequential-reference execution ([`run_parallel`] only).
+    pub mode: ExecMode,
 }
 
 impl Default for RunConfig {
@@ -41,12 +102,13 @@ impl Default for RunConfig {
             warmup: 200,
             threads: 1,
             seed: 0x55d0_2019,
+            mode: ExecMode::Threaded,
         }
     }
 }
 
 /// Measurements of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Engine name.
     pub engine: String,
@@ -81,11 +143,273 @@ impl RunResult {
     }
 }
 
-/// Runs `workload` on `engine`: setup, warm-up, then the measured phase.
+/// One worker's share of a [`run_parallel`] run, in worker-index order.
+#[derive(Debug)]
+pub struct ShardRun<E> {
+    /// The worker's engine (and machine shard), returned for inspection —
+    /// recovery counters, NVRAM fingerprints, capacity accounting.
+    pub engine: E,
+    /// The workload's display name.
+    pub workload: &'static str,
+    /// Worker index.
+    pub worker: usize,
+    /// Measured transactions executed by this worker.
+    pub txns: u64,
+    /// Measured-phase cycles on this worker's core.
+    pub elapsed_cycles: u64,
+    /// Measured-phase machine counters of this shard.
+    pub stats: MachineStats,
+    /// Measured-phase transaction statistics of this shard.
+    pub txn_stats: TxnStats,
+}
+
+/// Result of a [`run_parallel`] run: the deterministic merged measurements
+/// plus the per-worker shards.
+#[derive(Debug)]
+pub struct ParallelRun<E> {
+    /// Merged measurements (deterministic; see the determinism contract).
+    pub result: RunResult,
+    /// Per-worker results in worker-index order.
+    pub shards: Vec<ShardRun<E>>,
+    /// Host wall-clock time of the measured phase. **Not** covered by the
+    /// determinism contract — this is the real-time speedup benches
+    /// measure.
+    pub host_elapsed: Duration,
+}
+
+impl<E> ParallelRun<E> {
+    /// Measured transactions per host second (the real-time throughput).
+    pub fn host_tps(&self) -> f64 {
+        let secs = self.host_elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.result.txns as f64 / secs
+        }
+    }
+}
+
+/// The RNG seed of worker `w` — a splitmix64 step keeps the per-worker
+/// streams decorrelated even for adjacent run seeds.
+pub fn worker_seed(seed: u64, worker: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(worker as u64 + 1))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Worker `w`'s share of `total` transactions (remainder to low workers).
+pub fn worker_share(total: u64, workers: usize, w: usize) -> u64 {
+    total / workers as u64 + u64::from((w as u64) < total % workers as u64)
+}
+
+const SHARD_CORE: CoreId = CoreId::new(0);
+
+/// Per-worker driver state for the sharded run.
+struct Worker<E, W> {
+    engine: E,
+    workload: W,
+    rng: SmallRng,
+    txns: u64,
+    warmup: u64,
+}
+
+impl<E: TxnEngine, W: Workload> Worker<E, W> {
+    fn new(engine: E, workload: W, cfg: &RunConfig, w: usize) -> Self {
+        Self {
+            engine,
+            workload,
+            rng: SmallRng::seed_from_u64(worker_seed(cfg.seed, w)),
+            txns: worker_share(cfg.txns, cfg.threads, w),
+            warmup: worker_share(cfg.warmup, cfg.threads, w),
+        }
+    }
+
+    fn one_txn(&mut self) {
+        self.engine.begin(SHARD_CORE);
+        self.workload
+            .run_txn(&mut self.engine, SHARD_CORE, &mut self.rng);
+        self.engine.commit(SHARD_CORE);
+    }
+
+    /// Setup plus warm-up, then snapshot the measurement baselines.
+    fn prepare(&mut self) -> (MachineStats, TxnStats, u64) {
+        self.workload.setup(&mut self.engine, SHARD_CORE);
+        for _ in 0..self.warmup {
+            self.one_txn();
+        }
+        (
+            self.engine.machine().stats().clone(),
+            self.engine.txn_stats().clone(),
+            self.engine.machine().cycles(SHARD_CORE),
+        )
+    }
+
+    fn finish(self, w: usize, base: (MachineStats, TxnStats, u64)) -> ShardRun<E> {
+        let (stats_base, txn_base, cycles_base) = base;
+        let stats = self.engine.machine().stats().diff(&stats_base);
+        let txn_stats = self.engine.txn_stats().diff(&txn_base);
+        let elapsed_cycles = self.engine.machine().cycles(SHARD_CORE) - cycles_base;
+        ShardRun {
+            workload: self.workload.name(),
+            engine: self.engine,
+            worker: w,
+            txns: self.txns,
+            elapsed_cycles,
+            stats,
+            txn_stats,
+        }
+    }
+}
+
+/// Runs `cfg.threads` machine shards, each built by the factories for its
+/// worker index, and merges the per-worker measurements deterministically
+/// (see the module docs for the threading model and determinism contract).
 ///
-/// Transactions are interleaved round-robin across `cfg.threads` simulated
-/// cores; isolation is by construction (one transaction runs at a time,
-/// matching the paper's lock-based isolation assumption).
+/// `mk_engine(w)`/`mk_workload(w)` are called once per worker, *inside*
+/// that worker's thread in [`ExecMode::Threaded`], so construction cost is
+/// parallel too. The factories receive the worker index so callers can
+/// partition key spaces or vary shard configurations.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero or a worker thread panics.
+pub fn run_parallel<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+) -> ParallelRun<E>
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    assert!(cfg.threads >= 1, "at least one worker");
+
+    let (shards, host_elapsed) = match cfg.mode {
+        ExecMode::Threaded => run_workers_threaded(&mk_engine, &mk_workload, cfg),
+        ExecMode::Sequential => run_workers_sequential(&mk_engine, &mk_workload, cfg),
+    };
+
+    let mut stats = MachineStats::new();
+    let mut txn_stats = TxnStats::default();
+    for shard in &shards {
+        stats.merge(&shard.stats);
+        txn_stats.merge(&shard.txn_stats);
+    }
+    let elapsed = shards.iter().map(|s| s.elapsed_cycles).max().unwrap_or(0);
+    let freq_hz = shards[0].engine.machine().config().freq_ghz * 1e9;
+    let tps = if elapsed == 0 {
+        0.0
+    } else {
+        cfg.txns as f64 / (elapsed as f64 / freq_hz)
+    };
+
+    let result = RunResult {
+        engine: shards[0].engine.name().to_string(),
+        workload: shards[0].workload.to_string(),
+        txns: cfg.txns,
+        elapsed_cycles: elapsed,
+        tps,
+        stats,
+        txn_stats,
+    };
+    ParallelRun {
+        result,
+        shards,
+        host_elapsed,
+    }
+}
+
+fn run_workers_threaded<E, W>(
+    mk_engine: &(impl Fn(usize) -> E + Sync),
+    mk_workload: &(impl Fn(usize) -> W + Sync),
+    cfg: &RunConfig,
+) -> (Vec<ShardRun<E>>, Duration)
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    // Two rendezvous with the coordinator bracket the measured phase so
+    // host_elapsed covers exactly the span in which measured transactions
+    // run (setup and warm-up stay outside).
+    let start = Barrier::new(cfg.threads + 1);
+    let end = Barrier::new(cfg.threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|w| {
+                let (start, end) = (&start, &end);
+                scope.spawn(move || {
+                    let mut worker = Worker::new(mk_engine(w), mk_workload(w), cfg, w);
+                    let base = worker.prepare();
+                    start.wait();
+                    for _ in 0..worker.txns {
+                        worker.one_txn();
+                    }
+                    end.wait();
+                    worker.finish(w, base)
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        end.wait();
+        let host_elapsed = t0.elapsed();
+        let shards = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        (shards, host_elapsed)
+    })
+}
+
+fn run_workers_sequential<E, W>(
+    mk_engine: &impl Fn(usize) -> E,
+    mk_workload: &impl Fn(usize) -> W,
+    cfg: &RunConfig,
+) -> (Vec<ShardRun<E>>, Duration)
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    let mut workers: Vec<Worker<E, W>> = (0..cfg.threads)
+        .map(|w| Worker::new(mk_engine(w), mk_workload(w), cfg, w))
+        .collect();
+    let bases: Vec<_> = workers.iter_mut().map(Worker::prepare).collect();
+
+    let t0 = Instant::now();
+    // The reference schedule: one transaction per worker per round, in
+    // worker order — the sequential analogue of the threaded interleaving.
+    let mut remaining: Vec<u64> = workers.iter().map(|w| w.txns).collect();
+    while remaining.iter().any(|&r| r > 0) {
+        for (w, worker) in workers.iter_mut().enumerate() {
+            if remaining[w] > 0 {
+                worker.one_txn();
+                remaining[w] -= 1;
+            }
+        }
+    }
+    let host_elapsed = t0.elapsed();
+
+    let shards = workers
+        .into_iter()
+        .zip(bases)
+        .enumerate()
+        .map(|(w, (worker, base))| worker.finish(w, base))
+        .collect();
+    (shards, host_elapsed)
+}
+
+/// Runs `workload` on `engine`: setup, warm-up, then the measured phase —
+/// the **legacy schedule**: transactions interleaved round-robin across
+/// `cfg.threads` simulated cores of the *one shared machine*, on the
+/// calling thread. Isolation is by construction (one transaction runs at
+/// a time, matching the paper's lock-based isolation assumption).
+///
+/// The single-machine figures (6–9, tables) keep using this driver; the
+/// scaling curves use [`run_parallel`], whose shards execute on real
+/// threads. `cfg.mode` is ignored here.
 ///
 /// # Panics
 ///
@@ -125,10 +449,8 @@ pub fn run<E: TxnEngine>(
         engine.commit(core);
     }
 
-    let stats = diff_stats(engine.machine().stats(), &stats_base);
-
-    let mut txn_stats = engine.txn_stats().clone();
-    subtract_txn_stats(&mut txn_stats, &txn_base);
+    let stats = engine.machine().stats().diff(&stats_base);
+    let txn_stats = engine.txn_stats().diff(&txn_base);
 
     let elapsed = (0..cfg.threads)
         .map(|c| engine.machine().cycles(CoreId::new(c)) - cycles_base[c])
@@ -152,37 +474,15 @@ pub fn run<E: TxnEngine>(
     }
 }
 
-fn diff_stats(a: &MachineStats, b: &MachineStats) -> MachineStats {
-    let mut out = MachineStats::new();
-    for class in WriteClass::ALL {
-        out.record_nvram_writes(class, a.nvram_writes(class) - b.nvram_writes(class));
-    }
-    out.nvram_reads = a.nvram_reads - b.nvram_reads;
-    out.dram_writes = a.dram_writes - b.dram_writes;
-    out.dram_reads = a.dram_reads - b.dram_reads;
-    out.l1_hits = a.l1_hits - b.l1_hits;
-    out.l2_hits = a.l2_hits - b.l2_hits;
-    out.l3_hits = a.l3_hits - b.l3_hits;
-    out.mem_accesses = a.mem_accesses - b.mem_accesses;
-    out.tlb_misses = a.tlb_misses - b.tlb_misses;
-    out.flip_broadcasts = a.flip_broadcasts - b.flip_broadcasts;
-    out.coherence_invalidations = a.coherence_invalidations - b.coherence_invalidations;
-    out.writebacks = a.writebacks - b.writebacks;
-    out.row_hits = a.row_hits - b.row_hits;
-    out.row_misses = a.row_misses - b.row_misses;
-    out
-}
-
-fn subtract_txn_stats(a: &mut TxnStats, b: &TxnStats) {
-    a.committed -= b.committed;
-    a.aborted -= b.aborted;
-    a.fallbacks -= b.fallbacks;
-    a.lines_written_sum -= b.lines_written_sum;
-    a.pages_written_sum -= b.pages_written_sum;
-    a.stores -= b.stores;
-    a.loads -= b.loads;
-    // pages_written_max is a high-water mark; keep the global one.
-}
+// Type-checked at compile time: machines, engines, workloads and results
+// all cross thread boundaries.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<RunResult>();
+    assert_send::<Box<dyn TxnEngine>>();
+    assert_send::<Box<dyn Workload>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -200,7 +500,17 @@ mod tests {
             warmup: 20,
             threads: 1,
             seed: 7,
+            mode: ExecMode::Threaded,
         }
+    }
+
+    fn parallel_sps(cfg: &RunConfig) -> ParallelRun<Ssp> {
+        let shard = MachineConfig::default().shard_slice(cfg.threads);
+        run_parallel(
+            move |_| Ssp::new(shard.clone(), SspConfig::default()),
+            |_| Sps::new(1024, KeyDist::uniform(1024)),
+            cfg,
+        )
     }
 
     #[test]
@@ -277,5 +587,73 @@ mod tests {
                 ..small_cfg()
             },
         );
+    }
+
+    #[test]
+    fn worker_share_splits_exactly() {
+        let total: u64 = (0..3).map(|w| worker_share(10, 3, w)).sum();
+        assert_eq!(total, 10);
+        assert_eq!(worker_share(10, 3, 0), 4);
+        assert_eq!(worker_share(10, 3, 2), 3);
+        assert_eq!(worker_share(2, 4, 3), 0);
+    }
+
+    #[test]
+    fn worker_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..16).map(|w| worker_seed(42, w)).collect();
+        assert_eq!(seeds.len(), 16);
+        // And differ from the raw run seed.
+        assert!(!seeds.contains(&42));
+    }
+
+    #[test]
+    fn parallel_run_commits_all_transactions() {
+        let cfg = RunConfig {
+            threads: 4,
+            ..small_cfg()
+        };
+        let p = parallel_sps(&cfg);
+        assert_eq!(p.result.txn_stats.committed, 100);
+        assert_eq!(p.shards.len(), 4);
+        let per_shard: u64 = p.shards.iter().map(|s| s.txn_stats.committed).sum();
+        assert_eq!(per_shard, 100);
+        assert!(p.result.elapsed_cycles > 0);
+        assert!(p.host_elapsed > Duration::ZERO);
+        assert!(p.host_tps() > 0.0);
+        assert_eq!(p.result.engine, "SSP");
+        assert_eq!(p.result.workload, "SPS");
+    }
+
+    #[test]
+    fn parallel_wall_clock_is_max_over_shards() {
+        let cfg = RunConfig {
+            threads: 2,
+            ..small_cfg()
+        };
+        let p = parallel_sps(&cfg);
+        let max = p.shards.iter().map(|s| s.elapsed_cycles).max().unwrap();
+        assert_eq!(p.result.elapsed_cycles, max);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_reference() {
+        let threaded = parallel_sps(&RunConfig {
+            threads: 3,
+            ..small_cfg()
+        });
+        let sequential = parallel_sps(&RunConfig {
+            threads: 3,
+            mode: ExecMode::Sequential,
+            ..small_cfg()
+        });
+        assert_eq!(threaded.result, sequential.result);
+        for (t, s) in threaded.shards.iter().zip(&sequential.shards) {
+            assert_eq!(t.stats, s.stats);
+            assert_eq!(t.elapsed_cycles, s.elapsed_cycles);
+            assert_eq!(
+                t.engine.machine().nvram_fingerprint(),
+                s.engine.machine().nvram_fingerprint()
+            );
+        }
     }
 }

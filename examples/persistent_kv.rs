@@ -23,6 +23,7 @@ fn drive<E: TxnEngine>(engine: &mut E) -> (f64, u64, u64) {
         warmup: 200,
         threads: 4, // the paper's "four clients"
         seed: 42,
+        ..RunConfig::default()
     };
     let result = run(engine, &mut workload, &cfg);
     (result.tps, result.nvram_writes(), result.logging_writes())

@@ -136,6 +136,93 @@ proptest! {
     }
 }
 
+/// Real worker threads, one engine shard per worker (the threaded
+/// driver's sharding scheme), every worker driving an oracle-checked
+/// random stream. A [`Barrier`](std::sync::Barrier) aligns the crash:
+/// each worker stops *mid-transaction* — committed prefix behind it,
+/// uncommitted stores in flight — then the power fails on every shard and
+/// each core's recovery must restore exactly its committed prefix.
+fn threaded_crash_torture(threads: usize, seed: u64) {
+    use ssp::workloads::runner::worker_seed;
+    use std::sync::Barrier;
+
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let cfg = MachineConfig::default().shard_slice(threads);
+                    let mut engine = Ssp::new(cfg, SspConfig::default());
+                    let mut rng = SmallRng::seed_from_u64(worker_seed(seed, w));
+                    let mut oracle = Oracle::new();
+                    let pages: Vec<VirtAddr> =
+                        (0..4).map(|_| engine.map_new_page(C0).base()).collect();
+                    let store = |engine: &mut Ssp, oracle: &mut Oracle, rng: &mut SmallRng| {
+                        let addr =
+                            pages[rng.gen_range(0..pages.len())].add(rng.gen_range(0..512u64) * 8);
+                        let val = rng.gen::<u64>().to_le_bytes();
+                        engine.store(C0, addr, &val);
+                        oracle.record_store(C0, addr, &val);
+                    };
+
+                    // Committed prefix of a seed-dependent length.
+                    let committed = rng.gen_range(4..16usize);
+                    for _ in 0..committed {
+                        engine.begin(C0);
+                        for _ in 0..rng.gen_range(1..=6usize) {
+                            store(&mut engine, &mut oracle, &mut rng);
+                        }
+                        engine.commit(C0);
+                        oracle.on_commit(C0);
+                    }
+
+                    // Open a transaction and leave it mid-flight.
+                    engine.begin(C0);
+                    for _ in 0..rng.gen_range(1..=4usize) {
+                        store(&mut engine, &mut oracle, &mut rng);
+                    }
+
+                    // Every worker is mid-transaction: the power fails.
+                    barrier.wait();
+                    engine.crash();
+                    engine.recover();
+                    oracle.on_crash();
+                    oracle.verify(&mut engine, C0).unwrap_or_else(|d| {
+                        panic!("worker {w}: recovery not prefix-consistent: {d}")
+                    });
+
+                    // The shard keeps working after recovery.
+                    for _ in 0..5 {
+                        engine.begin(C0);
+                        store(&mut engine, &mut oracle, &mut rng);
+                        engine.commit(C0);
+                        oracle.on_commit(C0);
+                    }
+                    oracle
+                        .verify(&mut engine, C0)
+                        .unwrap_or_else(|d| panic!("worker {w} post-recovery: {d}"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: under real threads ∈ {2, 4}, a crash injected mid-run
+    /// (all workers mid-transaction) recovers to a prefix-consistent
+    /// state on every core, for any seed.
+    #[test]
+    fn prop_threaded_crash_recovers_prefix_per_core(pick in 0usize..2, seed in 0u64..10_000) {
+        threaded_crash_torture([2, 4][pick], seed);
+    }
+}
+
 /// Four cores, disjoint page sets (lock-based isolation by construction),
 /// interleaved stores, a crash with all four mid-transaction: each core's
 /// committed prefix must survive independently.

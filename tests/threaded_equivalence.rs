@@ -1,0 +1,177 @@
+//! The determinism contract of the threaded driver, locked in for every
+//! engine: a threaded run must produce *bit-identical* merged counters,
+//! per-shard counters and committed persistent state as (a) the
+//! single-host-thread reference schedule (`ExecMode::Sequential`, the
+//! legacy round-robin interleaving of the same per-worker work) and
+//! (b) itself across repeated runs — the latter catches host-scheduling
+//! nondeterminism and any hash-iteration order that leaks into the
+//! simulated machine.
+
+use ssp::baselines::{RedoLog, UndoLog};
+use ssp::core::engine::Ssp;
+use ssp::simulator::config::MachineConfig;
+use ssp::txn::engine::TxnEngine;
+use ssp::workloads::runner::{run_parallel, ExecMode, ParallelRun, RunConfig};
+use ssp::workloads::{BTreeWorkload, KeyDist, Sps};
+use ssp::SspConfig;
+
+const THREADS: usize = 4;
+const REPEATS: usize = 5;
+
+fn cfg(mode: ExecMode) -> RunConfig {
+    RunConfig {
+        txns: 240,
+        warmup: 40,
+        threads: THREADS,
+        seed: 0x7EAD_2019,
+        mode,
+    }
+}
+
+/// Runs the given engine factory over a sharded SPS workload.
+fn sps_run<E: TxnEngine>(
+    mk: &(impl Fn(MachineConfig) -> E + Sync),
+    mode: ExecMode,
+) -> ParallelRun<E> {
+    let shard = MachineConfig::default().shard_slice(THREADS);
+    run_parallel(
+        move |_| mk(shard.clone()),
+        |_| Sps::new(1024, KeyDist::uniform(1024)),
+        &cfg(mode),
+    )
+}
+
+/// The committed persistent state of every shard: crash (drops volatile
+/// state) + recover, then fingerprint the NVRAM region.
+fn committed_fingerprints<E: TxnEngine>(run: &mut ParallelRun<E>) -> Vec<u64> {
+    run.shards
+        .iter_mut()
+        .map(|s| {
+            s.engine.crash_and_recover();
+            s.engine.machine().nvram_fingerprint()
+        })
+        .collect()
+}
+
+/// Threaded == sequential reference, and threaded == threaded (5 runs),
+/// for one engine factory.
+fn assert_engine_equivalence<E: TxnEngine>(mk: impl Fn(MachineConfig) -> E + Sync) {
+    let mut reference = sps_run(&mk, ExecMode::Sequential);
+    let ref_prints = committed_fingerprints(&mut reference);
+
+    for rep in 0..REPEATS {
+        let mut threaded = sps_run(&mk, ExecMode::Threaded);
+        assert_eq!(
+            threaded.result, reference.result,
+            "merged counters diverged from the sequential reference (rep {rep})"
+        );
+        for (t, r) in threaded.shards.iter().zip(&reference.shards) {
+            assert_eq!(
+                t.stats, r.stats,
+                "shard {} machine counters (rep {rep})",
+                t.worker
+            );
+            assert_eq!(
+                t.txn_stats, r.txn_stats,
+                "shard {} txn stats (rep {rep})",
+                t.worker
+            );
+            assert_eq!(
+                t.elapsed_cycles, r.elapsed_cycles,
+                "shard {} simulated cycles (rep {rep})",
+                t.worker
+            );
+        }
+        assert_eq!(
+            committed_fingerprints(&mut threaded),
+            ref_prints,
+            "committed persistent state diverged (rep {rep})"
+        );
+    }
+}
+
+#[test]
+fn ssp_threaded_equals_sequential_and_repeats() {
+    assert_engine_equivalence(|cfg| Ssp::new(cfg, SspConfig::default()));
+}
+
+#[test]
+fn undo_threaded_equals_sequential_and_repeats() {
+    assert_engine_equivalence(UndoLog::new);
+}
+
+#[test]
+fn redo_threaded_equals_sequential_and_repeats() {
+    assert_engine_equivalence(RedoLog::new);
+}
+
+/// The same contract on a structured workload (B+-tree): exercises the
+/// SSP journal, write-set, consolidation and checkpoint paths, which all
+/// carry hash-ordered state internally.
+#[test]
+fn ssp_btree_threaded_equals_sequential() {
+    let shard = MachineConfig::default().shard_slice(2);
+    let mk = |mode| {
+        run_parallel(
+            |_| Ssp::new(shard.clone(), SspConfig::default()),
+            |_| BTreeWorkload::new(KeyDist::uniform(512), 256),
+            &RunConfig {
+                txns: 160,
+                warmup: 20,
+                threads: 2,
+                seed: 0xB7EE,
+                mode,
+            },
+        )
+    };
+    let mut a = mk(ExecMode::Threaded);
+    let mut b = mk(ExecMode::Sequential);
+    assert_eq!(a.result, b.result);
+    assert_eq!(
+        committed_fingerprints(&mut a),
+        committed_fingerprints(&mut b)
+    );
+}
+
+/// Worker shards are genuinely disjoint machines: every shard commits its
+/// exact share of transactions and reports nonzero work.
+#[test]
+fn shards_commit_their_exact_share() {
+    let p = sps_run(
+        &|cfg| Ssp::new(cfg, SspConfig::default()),
+        ExecMode::Threaded,
+    );
+    assert_eq!(p.shards.len(), THREADS);
+    for s in &p.shards {
+        assert_eq!(s.txn_stats.committed, s.txns);
+        assert_eq!(s.txns, 60);
+        assert!(s.elapsed_cycles > 0);
+        assert!(s.stats.nvram_writes_total() > 0);
+    }
+}
+
+/// A different seed must actually change the measurement (guards against
+/// the per-worker seed derivation collapsing streams).
+#[test]
+fn distinct_seeds_give_distinct_runs() {
+    let shard = MachineConfig::default().shard_slice(2);
+    let mk = |seed| {
+        run_parallel(
+            |_| UndoLog::new(shard.clone()),
+            |_| Sps::new(1024, KeyDist::paper_zipf(1024)),
+            &RunConfig {
+                txns: 200,
+                warmup: 20,
+                threads: 2,
+                seed,
+                mode: ExecMode::Threaded,
+            },
+        )
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(
+        (a.result.elapsed_cycles, a.result.nvram_writes()),
+        (b.result.elapsed_cycles, b.result.nvram_writes())
+    );
+}

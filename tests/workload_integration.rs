@@ -162,6 +162,24 @@ fn hash_on_redo_with_crashes() {
     hash_torture(&mut e, 33);
 }
 
+// Snapshot baselines for the stream-sensitive counters below. These pin
+// the *exact* values produced by the in-repo `rand` shim's seeded streams
+// (the shim samples ranges by modulo; real rand 0.8 uses rejection
+// sampling, so every seeded stream shifts when the shim is swapped for
+// the real crate).
+//
+// How to re-baseline after swapping the rand shim (or intentionally
+// changing an engine's write path): run
+// `cargo test --test workload_integration rbtree_on_ssp_with_small_tlb`
+// and copy the reported left-hand values into these constants — that one
+// edit is the whole re-baseline, keeping the swap a one-file diff.
+const SNAPSHOT_SEED: u64 = 41;
+const EXPECTED_FALLBACKS: u64 = 3;
+const EXPECTED_CHECKPOINTS: u64 = 24;
+// Zero is genuine here: under constant fall-back pressure, pages are
+// pinned when they leave the TLB, so consolidation stays quiet.
+const EXPECTED_CONSOLIDATED_PAGES: u64 = 0;
+
 #[test]
 fn rbtree_on_ssp_with_small_tlb_and_fallback_pressure() {
     // All the hard paths at once: tiny TLB (constant consolidation), tiny
@@ -172,14 +190,15 @@ fn rbtree_on_ssp_with_small_tlb_and_fallback_pressure() {
     ssp_cfg.write_set_capacity = 2;
     ssp_cfg.checkpoint_threshold_bytes = 512;
     let mut e = Ssp::new(cfg, ssp_cfg);
-    rbtree_torture(&mut e, 41);
-    // Under constant fall-back pressure pages are often pinned when they
-    // leave the TLB, so consolidation may legitimately stay quiet; the
-    // fall-back path itself must have been exercised heavily though.
-    assert!(
-        e.txn_stats().fallbacks > 0,
-        "fallbacks: {}",
-        e.txn_stats().fallbacks
+    rbtree_torture(&mut e, SNAPSHOT_SEED);
+    // Exact-value snapshots (not `> 0`): these counters are the canary
+    // for unintended changes to the seeded streams or the SSP write
+    // paths — see the constants above for how to re-baseline.
+    assert_eq!(e.txn_stats().fallbacks, EXPECTED_FALLBACKS, "fallbacks");
+    assert_eq!(e.checkpoints(), EXPECTED_CHECKPOINTS, "checkpoints");
+    assert_eq!(
+        e.consolidation_stats().pages,
+        EXPECTED_CONSOLIDATED_PAGES,
+        "consolidated pages"
     );
-    assert!(e.checkpoints() > 0);
 }
