@@ -13,8 +13,8 @@
 //!   smaller TLB cost, more write amplification.
 
 use ssp_bench::{
-    env_setup, fmt_ratio, make_workload, print_matrix, run_cell, EngineKind, SspConfig,
-    WorkloadKind,
+    env_setup, fmt_ratio, make_workload, print_matrix, run_cell_cached, EngineKind, SspConfig,
+    WorkloadCache, WorkloadKind,
 };
 use ssp_core::engine::Ssp;
 use ssp_simulator::config::MachineConfig;
@@ -79,13 +79,30 @@ fn write_set_ablation() {
 }
 
 fn shadow_paging_ablation() {
+    let cache = &mut WorkloadCache::new();
     let cfg = MachineConfig::default().with_cores(1);
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(1);
     let mut rows = Vec::new();
     for wkind in [WorkloadKind::Sps, WorkloadKind::HashRand] {
-        let ssp = run_cell(EngineKind::Ssp, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-        let shadow = run_cell(EngineKind::Shadow, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+        let ssp = run_cell_cached(
+            cache,
+            EngineKind::Ssp,
+            wkind,
+            &cfg,
+            &ssp_cfg,
+            scale,
+            &run_cfg,
+        );
+        let shadow = run_cell_cached(
+            cache,
+            EngineKind::Shadow,
+            wkind,
+            &cfg,
+            &ssp_cfg,
+            scale,
+            &run_cfg,
+        );
         rows.push((
             wkind.name().to_string(),
             vec![

@@ -10,11 +10,12 @@
 //! penalty is milder than the paper's shared contended machine.
 
 use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind,
+    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
+    WorkloadKind,
 };
 use ssp_simulator::config::MachineConfig;
 
-fn figure(threads: usize, label: &str) {
+fn figure(cache: &mut WorkloadCache, threads: usize, label: &str) {
     let cfg = MachineConfig::default().with_cores(threads.max(1));
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(threads);
@@ -24,7 +25,7 @@ fn figure(threads: usize, label: &str) {
         let mut cells = Vec::new();
         let mut tps = Vec::new();
         for ekind in EngineKind::PAPER {
-            let r = run_cell(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
             tps.push(r.tps);
         }
         let base = tps[0]; // UNDO-LOG
@@ -38,8 +39,14 @@ fn figure(threads: usize, label: &str) {
 }
 
 fn main() {
-    figure(1, "Figure 5a: normalised TPS, one thread (UNDO-LOG = 1.0)");
+    let cache = &mut WorkloadCache::new();
     figure(
+        cache,
+        1,
+        "Figure 5a: normalised TPS, one thread (UNDO-LOG = 1.0)",
+    );
+    figure(
+        cache,
         4,
         "Figure 5b: normalised TPS, four threads (UNDO-LOG = 1.0)",
     );

@@ -3,11 +3,13 @@
 //! normalised to UNDO-LOG. Lower is better.
 
 use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind,
+    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
+    WorkloadKind,
 };
 use ssp_simulator::config::MachineConfig;
 
 fn main() {
+    let cache = &mut WorkloadCache::new();
     let cfg = MachineConfig::default().with_cores(1);
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(1);
@@ -16,7 +18,7 @@ fn main() {
     for wkind in WorkloadKind::MICRO {
         let mut logging = Vec::new();
         for ekind in EngineKind::PAPER {
-            let r = run_cell(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
             logging.push(r.logging_writes() as f64);
         }
         let base = logging[0].max(1.0);

@@ -5,12 +5,14 @@
 //!     consolidation / checkpointing percentages.
 
 use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind,
+    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
+    WorkloadKind,
 };
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::stats::WriteClass;
 
 fn main() {
+    let cache = &mut WorkloadCache::new();
     let cfg = MachineConfig::default().with_cores(1);
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(1);
@@ -21,7 +23,7 @@ fn main() {
         let mut totals = Vec::new();
         let mut ssp_result = None;
         for ekind in EngineKind::PAPER {
-            let r = run_cell(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
             totals.push(r.nvram_writes() as f64);
             if ekind == EngineKind::Ssp {
                 ssp_result = Some(r);

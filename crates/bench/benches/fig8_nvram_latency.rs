@@ -2,10 +2,12 @@
 //! (8a) and BTree-Rand (8b) with the NVRAM latency set to x1..x9 the DRAM
 //! latency.
 
-use ssp_bench::{env_setup, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind};
+use ssp_bench::{
+    env_setup, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache, WorkloadKind,
+};
 use ssp_simulator::config::MachineConfig;
 
-fn figure(wkind: WorkloadKind, label: &str) {
+fn figure(cache: &mut WorkloadCache, wkind: WorkloadKind, label: &str) {
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(1);
 
@@ -16,7 +18,7 @@ fn figure(wkind: WorkloadKind, label: &str) {
             .with_nvram_latency_multiplier(mult);
         let mut cells = Vec::new();
         for ekind in EngineKind::PAPER {
-            let r = run_cell(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
             cells.push(format!("{:.0}", r.tps / 1000.0));
         }
         rows.push((format!("x{mult:.0}"), cells));
@@ -25,11 +27,14 @@ fn figure(wkind: WorkloadKind, label: &str) {
 }
 
 fn main() {
+    let cache = &mut WorkloadCache::new();
     figure(
+        cache,
         WorkloadKind::RbTreeRand,
         "Figure 8a: RBTree TPS vs NVRAM latency (multiples of DRAM latency)",
     );
     figure(
+        cache,
         WorkloadKind::BTreeRand,
         "Figure 8b: BTree TPS vs NVRAM latency (multiples of DRAM latency)",
     );

@@ -3,11 +3,13 @@
 //! (the paper sweeps from L3-like to DRAM-like latencies).
 
 use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind,
+    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
+    WorkloadKind,
 };
 use ssp_simulator::config::MachineConfig;
 
 fn main() {
+    let cache = &mut WorkloadCache::new();
     let cfg = MachineConfig::default().with_cores(1);
     let (run_cfg, scale) = env_setup(1);
 
@@ -15,7 +17,8 @@ fn main() {
     let base_ssp_cfg = SspConfig::default();
     let mut redo_tps = Vec::new();
     for wkind in WorkloadKind::MICRO {
-        let r = run_cell(
+        let r = run_cell_cached(
+            cache,
             EngineKind::Redo,
             wkind,
             &cfg,
@@ -33,7 +36,15 @@ fn main() {
         for &lat in &latencies {
             let mut ssp_cfg = SspConfig::default();
             ssp_cfg.meta_latency_override = Some(lat);
-            let r = run_cell(EngineKind::Ssp, *wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+            let r = run_cell_cached(
+                cache,
+                EngineKind::Ssp,
+                *wkind,
+                &cfg,
+                &ssp_cfg,
+                scale,
+                &run_cfg,
+            );
             cells.push(fmt_ratio(r.tps / redo_tps[wi]));
         }
         rows.push((wkind.name().to_string(), cells));

@@ -2,17 +2,28 @@
 //! average pages modified / maximum pages modified per transaction, for
 //! all nine workloads.
 
-use ssp_bench::{env_setup, print_matrix, run_cell, EngineKind, SspConfig, WorkloadKind};
+use ssp_bench::{
+    env_setup, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache, WorkloadKind,
+};
 use ssp_simulator::config::MachineConfig;
 
 fn main() {
+    let cache = &mut WorkloadCache::new();
     let cfg = MachineConfig::default().with_cores(1);
     let ssp_cfg = SspConfig::default();
     let (run_cfg, scale) = env_setup(1);
 
     let mut rows = Vec::new();
     for wkind in WorkloadKind::ALL {
-        let r = run_cell(EngineKind::Ssp, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
+        let r = run_cell_cached(
+            cache,
+            EngineKind::Ssp,
+            wkind,
+            &cfg,
+            &ssp_cfg,
+            scale,
+            &run_cfg,
+        );
         let s = &r.txn_stats;
         rows.push((
             wkind.name().to_string(),

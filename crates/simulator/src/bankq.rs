@@ -1,0 +1,171 @@
+//! Per-bank FIFO queue state for the shared memory interconnect.
+//!
+//! A [`BankGroup`] is one set of memory banks behind a channel group of the
+//! [`interconnect`](crate::interconnect): every bank serves one access at a
+//! time (a FIFO of depth one is enough because the arbiter replays events
+//! in a deterministic global order), keeps an open-row buffer, remembers
+//! which shard occupied it last, and reports how long an access had to
+//! queue behind the bank's previous occupant.
+//!
+//! All times are in core cycles on the merged virtual timeline the
+//! arbiter constructs from the shards' local clocks.
+
+/// Outcome of routing one access through a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAccess {
+    /// Cycles the access waited for the bank to become free.
+    pub queued_cycles: u64,
+    /// Whether the wait was behind *another* shard's access. Only these
+    /// waits are charged back to the issuing shard's clock — queueing
+    /// behind one's own traffic is already covered by the shard's local
+    /// timing model.
+    pub cross_shard: bool,
+    /// Whether the access hit the bank's open row buffer.
+    pub row_hit: bool,
+}
+
+/// One group of banks: per-bank busy-until time, open-row tag, and the
+/// shard that used the bank last.
+#[derive(Debug, Clone)]
+pub struct BankGroup {
+    free_at: Vec<u64>,
+    open_row: Vec<Option<u64>>,
+    last_owner: Vec<Option<usize>>,
+}
+
+impl BankGroup {
+    /// Creates a group of `banks` idle banks with closed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: usize) -> Self {
+        assert!(banks > 0, "a bank group needs at least one bank");
+        Self {
+            free_at: vec![0; banks],
+            open_row: vec![None; banks],
+            last_owner: vec![None; banks],
+        }
+    }
+
+    /// Number of banks in the group.
+    pub fn banks(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Routes shard `owner`'s access arriving at merged time `at` for
+    /// `row_tag` through the group. The bank is `row_tag % banks`; a
+    /// row-buffer hit costs `service_hit` cycles of bank occupancy, a
+    /// miss `service_miss`. A nonzero wait is attributed to the bank's
+    /// previous occupant.
+    pub fn access(
+        &mut self,
+        owner: usize,
+        at: u64,
+        row_tag: u64,
+        service_hit: u64,
+        service_miss: u64,
+    ) -> BankAccess {
+        let bank = (row_tag % self.free_at.len() as u64) as usize;
+        let row_hit = self.open_row[bank] == Some(row_tag);
+        let service = if row_hit { service_hit } else { service_miss };
+        let start = at.max(self.free_at[bank]);
+        let queued_cycles = start - at;
+        let cross_shard = queued_cycles > 0 && self.last_owner[bank] != Some(owner);
+        self.free_at[bank] = start + service;
+        self.open_row[bank] = Some(row_tag);
+        self.last_owner[bank] = Some(owner);
+        BankAccess {
+            queued_cycles,
+            cross_shard,
+            row_hit,
+        }
+    }
+
+    /// Latest busy-until time across the group (diagnostics).
+    pub fn busy_until(&self) -> u64 {
+        self.free_at.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bank_has_no_queueing() {
+        let mut g = BankGroup::new(4);
+        let a = g.access(0, 100, 7, 10, 25);
+        assert_eq!(a.queued_cycles, 0);
+        assert!(!a.cross_shard);
+        assert!(!a.row_hit, "first touch misses the closed row");
+    }
+
+    #[test]
+    fn back_to_back_same_bank_queues() {
+        let mut g = BankGroup::new(4);
+        // Row 3 and row 7 share bank 3 in a 4-bank group.
+        g.access(0, 100, 3, 10, 25);
+        let second = g.access(1, 100, 7, 10, 25);
+        // First access occupies [100, 125); the second waits 25 cycles,
+        // behind a different shard.
+        assert_eq!(second.queued_cycles, 25);
+        assert!(second.cross_shard);
+        assert!(!second.row_hit);
+    }
+
+    #[test]
+    fn waiting_behind_yourself_is_not_cross_shard() {
+        let mut g = BankGroup::new(1);
+        g.access(3, 0, 0, 10, 25);
+        let own = g.access(3, 0, 0, 10, 25);
+        assert_eq!(own.queued_cycles, 25);
+        assert!(!own.cross_shard, "own backlog is the local model's cost");
+        assert!(own.row_hit);
+    }
+
+    #[test]
+    fn distinct_banks_do_not_interfere() {
+        let mut g = BankGroup::new(4);
+        g.access(0, 100, 0, 10, 25);
+        let other = g.access(1, 100, 1, 10, 25);
+        assert_eq!(other.queued_cycles, 0);
+    }
+
+    #[test]
+    fn open_row_hit_is_cheaper_occupancy() {
+        let mut g = BankGroup::new(2);
+        g.access(0, 0, 4, 10, 25); // opens row 4 in bank 0, busy until 25
+        let hit = g.access(0, 25, 4, 10, 25);
+        assert!(hit.row_hit);
+        assert_eq!(hit.queued_cycles, 0);
+        // Bank is now busy until 35; a conflicting row queues 10, not 25.
+        let conflict = g.access(1, 25, 6, 10, 25);
+        assert_eq!(conflict.queued_cycles, 10);
+        assert!(conflict.cross_shard);
+        assert!(!conflict.row_hit);
+    }
+
+    #[test]
+    fn late_arrival_finds_bank_free_again() {
+        let mut g = BankGroup::new(1);
+        g.access(0, 0, 0, 10, 25);
+        let late = g.access(1, 1000, 0, 10, 25);
+        assert_eq!(late.queued_cycles, 0);
+        assert!(late.row_hit, "row stayed open");
+    }
+
+    #[test]
+    fn busy_until_tracks_the_latest_bank() {
+        let mut g = BankGroup::new(2);
+        g.access(0, 0, 0, 10, 25);
+        g.access(0, 50, 1, 10, 25);
+        assert_eq!(g.busy_until(), 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = BankGroup::new(0);
+    }
+}

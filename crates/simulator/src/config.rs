@@ -38,6 +38,72 @@ pub struct MemTechConfig {
     pub row_miss_penalty_ns: f64,
 }
 
+/// Knobs of the shared memory interconnect (the deterministic cross-shard
+/// memory-controller model in [`crate::interconnect`]).
+///
+/// The default is [`InterconnectConfig::disabled`]: no events are
+/// recorded, no epoch arbitration runs, and every counter and cycle of a
+/// run is bit-identical to a build without the subsystem. The figure
+/// benches that model the paper's single shared machine keep it disabled;
+/// the multi-client contention sweeps enable it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterconnectConfig {
+    /// Master switch. When `false` every other knob is inert.
+    pub enabled: bool,
+    /// Epoch length in simulated core cycles: how much local virtual time
+    /// each shard executes between arbitration rounds. Smaller epochs
+    /// tighten the contention feedback loop at the cost of more barriers.
+    pub epoch_cycles: u64,
+    /// DRAM banks in one channel group of the shared controller.
+    pub dram_banks: usize,
+    /// NVRAM banks in one channel group of the shared controller.
+    pub nvram_banks: usize,
+    /// `false`: all shards share **one** channel group (contention).
+    /// `true`: every shard gets its **own** group of the configured size
+    /// (the scaled-hardware reference that stays flat as clients grow).
+    pub partitioned: bool,
+}
+
+impl InterconnectConfig {
+    /// The inert configuration (the default): PR-2 behavior, no recording.
+    pub const fn disabled() -> Self {
+        Self {
+            enabled: false,
+            epoch_cycles: 50_000,
+            dram_banks: 64,
+            nvram_banks: 32,
+            partitioned: false,
+        }
+    }
+
+    /// All clients contend for one Table-2-sized channel group
+    /// (64 DRAM / 32 NVRAM banks).
+    pub const fn shared() -> Self {
+        Self {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Every client gets its own private channel group of the given bank
+    /// counts — the partitioned reference for the Fig 5b sweeps.
+    pub const fn partitioned(dram_banks: usize, nvram_banks: usize) -> Self {
+        Self {
+            enabled: true,
+            partitioned: true,
+            dram_banks,
+            nvram_banks,
+            ..Self::disabled()
+        }
+    }
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full machine configuration (Table 2 of the paper by default).
 ///
 /// # Examples
@@ -75,6 +141,8 @@ pub struct MachineConfig {
     /// Maximum overlap factor for back-to-back persists (memory-level
     /// parallelism of the write-combining path); `1` means fully serial.
     pub persist_mlp: usize,
+    /// Shared cross-shard memory-interconnect model (disabled by default).
+    pub interconnect: InterconnectConfig,
 }
 
 impl Default for MachineConfig {
@@ -115,6 +183,7 @@ impl Default for MachineConfig {
             page_walk_cycles: 100,
             coherence_broadcast_cycles: 20,
             persist_mlp: 4,
+            interconnect: InterconnectConfig::disabled(),
         }
     }
 }
@@ -154,18 +223,44 @@ impl MachineConfig {
     /// such slice so cores never contend on simulator state; the summed
     /// slices model the paper's shared machine.
     ///
+    /// This is the *floor* slice (the share of the last worker); when the
+    /// shared resources don't divide evenly, use
+    /// [`shard_slice_for`](Self::shard_slice_for) so the remainder is
+    /// distributed and the summed slices equal the parent machine.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn shard_slice(&self, threads: usize) -> Self {
         assert!(threads > 0, "at least one shard is required");
+        self.shard_slice_for(threads, threads - 1)
+    }
+
+    /// Worker `worker`'s slice of this machine for a `threads`-way sharded
+    /// run. Shared resources are split in whole units (L3 *sets*, memory
+    /// *banks*) with the remainder going to the lowest-indexed workers, so
+    /// summing the slices over all workers reproduces the parent config
+    /// exactly (as long as `threads` does not exceed the unit counts —
+    /// degenerate slices are clamped to one set / one bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `worker >= threads`.
+    pub fn shard_slice_for(&self, threads: usize, worker: usize) -> Self {
+        assert!(threads > 0, "at least one shard is required");
+        assert!(worker < threads, "worker index out of range");
+        // Worker `w`'s share of `total` whole units, remainder to the low
+        // workers (mirrors `worker_share` in the run driver).
+        let share =
+            |total: usize| -> usize { total / threads + usize::from(worker < total % threads) };
         let mut cfg = self.clone();
         cfg.cores = 1;
-        // Keep at least one set so the slice stays a functional cache.
-        cfg.l3.size_bytes =
-            (self.l3.size_bytes / threads).max(self.l3.ways * crate::addr::LINE_SIZE);
-        cfg.dram.banks = (self.dram.banks / threads).max(1);
-        cfg.nvram.banks = (self.nvram.banks / threads).max(1);
+        // Slice the L3 in set units so the slice stays a functional cache
+        // with the parent's associativity; keep at least one set.
+        let line = crate::addr::LINE_SIZE;
+        cfg.l3.size_bytes = share(self.l3.sets()).max(1) * self.l3.ways * line;
+        cfg.dram.banks = share(self.dram.banks).max(1);
+        cfg.nvram.banks = share(self.nvram.banks).max(1);
         cfg
     }
 }
@@ -251,5 +346,79 @@ mod tests {
         assert!(cfg.l3.sets() >= 1);
         assert_eq!(cfg.dram.banks, 1);
         assert_eq!(cfg.nvram.banks, 1);
+    }
+
+    #[test]
+    fn shard_slices_sum_to_the_parent_machine() {
+        // The PR-2 slicer floored every share, silently shrinking the
+        // machine on non-divisible thread counts; the per-worker slices
+        // must now add back up to the parent exactly.
+        let parent = MachineConfig::default();
+        for threads in 1..=10usize {
+            let slices: Vec<_> = (0..threads)
+                .map(|w| parent.shard_slice_for(threads, w))
+                .collect();
+            let sets: usize = slices.iter().map(|s| s.l3.sets()).sum();
+            let dram: usize = slices.iter().map(|s| s.dram.banks).sum();
+            let nvram: usize = slices.iter().map(|s| s.nvram.banks).sum();
+            assert_eq!(sets, parent.l3.sets(), "L3 sets at {threads} threads");
+            assert_eq!(dram, parent.dram.banks, "DRAM banks at {threads} threads");
+            assert_eq!(
+                nvram, parent.nvram.banks,
+                "NVRAM banks at {threads} threads"
+            );
+            // Shares are balanced: no two workers differ by more than one
+            // unit of any resource.
+            for s in &slices {
+                assert!(s.l3.sets().abs_diff(slices[0].l3.sets()) <= 1);
+                assert!(s.dram.banks.abs_diff(slices[0].dram.banks) <= 1);
+                assert!(s.nvram.banks.abs_diff(slices[0].nvram.banks) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_slice_is_the_floor_worker() {
+        // Backward-compatible view: `shard_slice(n)` is the smallest share
+        // (the last worker's), identical to the old flooring behavior on
+        // divisible counts.
+        let parent = MachineConfig::default();
+        for threads in [1usize, 2, 4, 8] {
+            let old = parent.shard_slice(threads);
+            assert_eq!(old, parent.shard_slice_for(threads, threads - 1));
+            assert_eq!(old.dram.banks, parent.dram.banks / threads);
+        }
+        // Non-divisible: worker 0 absorbs the remainder, the floor does not.
+        let w0 = parent.shard_slice_for(3, 0);
+        let w2 = parent.shard_slice_for(3, 2);
+        assert_eq!(w0.dram.banks, 22);
+        assert_eq!(w2.dram.banks, 21);
+        assert_eq!(parent.shard_slice(3).dram.banks, 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker index out of range")]
+    fn shard_slice_for_rejects_bad_worker() {
+        let _ = MachineConfig::default().shard_slice_for(2, 2);
+    }
+
+    #[test]
+    fn interconnect_defaults_are_inert() {
+        let cfg = MachineConfig::default();
+        assert!(!cfg.interconnect.enabled);
+        assert_eq!(cfg.interconnect, InterconnectConfig::disabled());
+        assert!(InterconnectConfig::shared().enabled);
+        assert!(!InterconnectConfig::shared().partitioned);
+        let part = InterconnectConfig::partitioned(8, 4);
+        assert!(part.enabled && part.partitioned);
+        assert_eq!(part.dram_banks, 8);
+        assert_eq!(part.nvram_banks, 4);
+        // The slicer carries the knobs through to every worker.
+        let slice = {
+            let mut c = cfg.clone();
+            c.interconnect = InterconnectConfig::shared();
+            c.shard_slice_for(4, 0)
+        };
+        assert!(slice.interconnect.enabled);
     }
 }

@@ -1,0 +1,350 @@
+//! The shared memory interconnect: a deterministic cross-shard
+//! memory-controller model.
+//!
+//! The threaded driver gives every worker a fully disjoint machine shard,
+//! so cross-shard contention for the DRAM/NVRAM channels — the effect the
+//! paper's multi-client results (Fig 5b, Tables 4/5) are built on — is not
+//! visible inside any single shard. This module recovers it *after the
+//! fact*, deterministically:
+//!
+//! 1. While a shard executes, its [`MemTiming`](crate::timing::MemTiming)
+//!    records every line access as a [`MemEvent`] stamped with the shard's
+//!    local virtual time (its core-cycle clock).
+//! 2. At every epoch boundary (each
+//!    [`epoch_cycles`](crate::config::InterconnectConfig::epoch_cycles) of
+//!    local time) the driver drains all shards' event streams and feeds
+//!    them to [`Interconnect::arbitrate`], which merges them into one
+//!    global order — by `(local time, shard index, stream position)`, so
+//!    the order never depends on host scheduling — and replays them
+//!    through per-channel-group [`BankGroup`] FIFO queues with open-row
+//!    buffers.
+//! 3. The queueing delay each shard's accesses accumulated is handed back
+//!    as an [`EpochCharge`] and added to that shard's clock and counters,
+//!    so contention slows the affected client before its next epoch.
+//!
+//! Because every input to the arbiter is shard-local and deterministic,
+//! a fixed seed yields bit-identical results for threaded, sequential and
+//! repeated runs — the PR-2 determinism contract extends to contention.
+
+use crate::bankq::BankGroup;
+use crate::config::{MachineConfig, MemTechConfig};
+use crate::timing::MemKind;
+
+/// One recorded memory access: what a shard's timing model saw, stamped
+/// with the shard's local virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Shard-local core-cycle time at which the access was issued.
+    pub at: u64,
+    /// Which memory technology (channel) the access targets.
+    pub mem: MemKind,
+    /// Local row index (`addr / row_buffer_bytes` in the shard).
+    pub row: u64,
+    /// `true` for writes, `false` for reads.
+    pub write: bool,
+}
+
+/// Queueing outcome of one epoch for one shard, charged back to its clock
+/// and [`MachineStats`](crate::stats::MachineStats) by the driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochCharge {
+    /// Cycles this shard's accesses waited behind *other shards'* traffic.
+    /// Waits behind the shard's own backlog are not charged — the local
+    /// timing model already prices a shard's own bank behavior.
+    pub delay_cycles: u64,
+    /// Number of accesses that waited behind another shard.
+    pub conflicts: u64,
+    /// Row-buffer hits at the shared controller.
+    pub row_hits: u64,
+    /// Row-buffer misses at the shared controller.
+    pub row_misses: u64,
+}
+
+impl EpochCharge {
+    /// Folds one bank access into the charge.
+    fn record(&mut self, access: crate::bankq::BankAccess) {
+        if access.cross_shard {
+            self.delay_cycles += access.queued_cycles;
+            self.conflicts += 1;
+        }
+        if access.row_hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+        }
+    }
+}
+
+/// Bank-occupancy costs per access kind, in core cycles.
+#[derive(Debug, Clone, Copy)]
+struct ServiceTimes {
+    read_hit: u64,
+    read_miss: u64,
+    write_hit: u64,
+    write_miss: u64,
+}
+
+impl ServiceTimes {
+    fn new(cfg: &MachineConfig, tech: &MemTechConfig) -> Self {
+        Self {
+            read_hit: cfg.ns_to_cycles(tech.read_ns).max(1),
+            read_miss: cfg
+                .ns_to_cycles(tech.read_ns + tech.row_miss_penalty_ns)
+                .max(1),
+            write_hit: cfg.ns_to_cycles(tech.write_ns).max(1),
+            write_miss: cfg
+                .ns_to_cycles(tech.write_ns + tech.row_miss_penalty_ns)
+                .max(1),
+        }
+    }
+
+    fn pick(&self, write: bool) -> (u64, u64) {
+        if write {
+            (self.write_hit, self.write_miss)
+        } else {
+            (self.read_hit, self.read_miss)
+        }
+    }
+}
+
+/// One memory technology's channel groups: a single group all shards share,
+/// or one private group per shard (the partitioned reference).
+#[derive(Debug, Clone)]
+struct ChannelGroups {
+    groups: Vec<BankGroup>,
+    service: ServiceTimes,
+    shared: bool,
+}
+
+impl ChannelGroups {
+    fn new(cfg: &MachineConfig, tech: &MemTechConfig, banks: usize, shards: usize) -> Self {
+        let shared = !cfg.interconnect.partitioned;
+        let groups = if shared {
+            vec![BankGroup::new(banks.max(1))]
+        } else {
+            vec![BankGroup::new(banks.max(1)); shards]
+        };
+        Self {
+            groups,
+            service: ServiceTimes::new(cfg, tech),
+            shared,
+        }
+    }
+
+    fn access(&mut self, shard: usize, ev: &MemEvent) -> crate::bankq::BankAccess {
+        let (hit, miss) = self.service.pick(ev.write);
+        // Every shard's address space starts at the same physical base, so
+        // identical local rows would alias across shards. Hash-mix the
+        // (row, shard) pair into the tag instead: the same local row keeps
+        // a stable identity (row-buffer hits still work), distinct clients
+        // get distinct rows, and — unlike an affine salt, which can hand
+        // each client a disjoint residue class of banks — the bank a row
+        // lands on is uniform, so clients genuinely collide.
+        let row_tag = mix_row(ev.row, shard as u64);
+        if self.shared {
+            self.groups[0].access(shard, ev.at, row_tag, hit, miss)
+        } else {
+            self.groups[shard].access(shard, ev.at, row_tag, hit, miss)
+        }
+    }
+}
+
+/// splitmix64-style finalizer over the (row, shard) pair.
+fn mix_row(row: u64, shard: u64) -> u64 {
+    let mut z = row
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(shard.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The shared memory-controller actor (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    dram: ChannelGroups,
+    nvram: ChannelGroups,
+    shards: usize,
+}
+
+impl Interconnect {
+    /// Builds the controller for `shards` clients from a machine
+    /// configuration (all shards are assumed to share it; the driver
+    /// passes shard 0's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(cfg: &MachineConfig, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        let icfg = &cfg.interconnect;
+        Self {
+            dram: ChannelGroups::new(cfg, &cfg.dram, icfg.dram_banks, shards),
+            nvram: ChannelGroups::new(cfg, &cfg.nvram, icfg.nvram_banks, shards),
+            shards,
+        }
+    }
+
+    /// Number of clients the controller arbitrates between.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Merges one epoch's per-shard event streams (`streams[w]` is worker
+    /// `w`'s, each ordered by local time) into the deterministic global
+    /// order and replays them through the bank queues. Returns one
+    /// [`EpochCharge`] per shard, in worker-index order.
+    ///
+    /// Bank occupancy carries over between epochs, so a stream of hot
+    /// accesses keeps paying for the backlog it created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len()` differs from the shard count.
+    pub fn arbitrate(&mut self, streams: &[Vec<MemEvent>]) -> Vec<EpochCharge> {
+        assert_eq!(streams.len(), self.shards, "one stream per shard");
+        let mut cursor = vec![0usize; self.shards];
+        let mut charges = vec![EpochCharge::default(); self.shards];
+        loop {
+            // K-way merge: earliest local time wins, lowest shard index
+            // breaks ties — both shard-local quantities, so the global
+            // order is independent of host scheduling.
+            let mut next: Option<(u64, usize)> = None;
+            for (s, stream) in streams.iter().enumerate() {
+                if let Some(ev) = stream.get(cursor[s]) {
+                    if next.map_or(true, |(at, _)| ev.at < at) {
+                        next = Some((ev.at, s));
+                    }
+                }
+            }
+            let Some((_, s)) = next else { break };
+            let ev = streams[s][cursor[s]];
+            cursor[s] += 1;
+            let groups = match ev.mem {
+                MemKind::Dram => &mut self.dram,
+                MemKind::Nvram => &mut self.nvram,
+            };
+            charges[s].record(groups.access(s, &ev));
+        }
+        charges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterconnectConfig;
+
+    fn event(at: u64, row: u64) -> MemEvent {
+        MemEvent {
+            at,
+            mem: MemKind::Nvram,
+            row,
+            write: true,
+        }
+    }
+
+    fn shared_cfg(nvram_banks: usize) -> MachineConfig {
+        let mut cfg = MachineConfig::default();
+        cfg.interconnect = InterconnectConfig::shared();
+        cfg.interconnect.nvram_banks = nvram_banks;
+        cfg
+    }
+
+    #[test]
+    fn single_stream_single_access_is_free() {
+        let mut ic = Interconnect::new(&shared_cfg(8), 1);
+        let charges = ic.arbitrate(&[vec![event(0, 0)]]);
+        assert_eq!(charges[0].delay_cycles, 0);
+        assert_eq!(charges[0].conflicts, 0);
+        assert_eq!(charges[0].row_misses, 1);
+    }
+
+    #[test]
+    fn same_bank_same_time_charges_the_higher_shard() {
+        // One bank: both shards collide; shard 0 wins the tie at t=0 and
+        // shard 1 queues for a full write-miss service.
+        let cfg = shared_cfg(1);
+        let mut ic = Interconnect::new(&cfg, 2);
+        let charges = ic.arbitrate(&[vec![event(0, 0)], vec![event(0, 0)]]);
+        assert_eq!(charges[0].delay_cycles, 0);
+        let miss = cfg.ns_to_cycles(cfg.nvram.write_ns + cfg.nvram.row_miss_penalty_ns);
+        assert_eq!(charges[1].delay_cycles, miss);
+        assert_eq!(charges[1].conflicts, 1);
+    }
+
+    #[test]
+    fn row_salting_keeps_shards_from_false_sharing_rows() {
+        // Same local row in both shards must not count as a shared-row hit.
+        let mut ic = Interconnect::new(&shared_cfg(64), 2);
+        let charges = ic.arbitrate(&[vec![event(0, 5)], vec![event(5000, 5)]]);
+        assert_eq!(charges[0].row_misses, 1);
+        assert_eq!(charges[1].row_misses, 1, "salted rows are distinct");
+    }
+
+    #[test]
+    fn partitioned_groups_never_interfere() {
+        let mut cfg = shared_cfg(1);
+        cfg.interconnect.partitioned = true;
+        let mut ic = Interconnect::new(&cfg, 2);
+        // Even with a single bank each, simultaneous accesses are free
+        // because every shard owns its own group.
+        let charges = ic.arbitrate(&[vec![event(0, 0)], vec![event(0, 0)]]);
+        assert_eq!(charges[0].delay_cycles, 0);
+        assert_eq!(charges[1].delay_cycles, 0);
+    }
+
+    #[test]
+    fn backlog_carries_across_epochs() {
+        let cfg = shared_cfg(1);
+        let mut ic = Interconnect::new(&cfg, 2);
+        // Epoch 1: only shard 0 is active and occupies the single bank.
+        ic.arbitrate(&[vec![event(0, 0)], Vec::new()]);
+        // Epoch 2: shard 1 arrives while the bank is still busy.
+        let charges = ic.arbitrate(&[Vec::new(), vec![event(1, 0)]]);
+        assert!(charges[1].delay_cycles > 0, "backlog must persist");
+        assert_eq!(charges[1].conflicts, 1);
+    }
+
+    #[test]
+    fn own_backlog_is_never_charged() {
+        // One shard hammering one bank queues only behind itself; the
+        // charge must stay zero no matter how dense the stream is.
+        let cfg = shared_cfg(1);
+        let mut ic = Interconnect::new(&cfg, 1);
+        let stream: Vec<MemEvent> = (0..20).map(|i| event(i, i % 3)).collect();
+        let charges = ic.arbitrate(&[stream]);
+        assert_eq!(charges[0].delay_cycles, 0);
+        assert_eq!(charges[0].conflicts, 0);
+        assert!(charges[0].row_misses > 0, "accesses were still processed");
+    }
+
+    #[test]
+    fn merge_order_is_time_then_shard() {
+        // Shard 1's earlier event must be served before shard 0's later
+        // one even though shard 0 appears first in the stream list.
+        let cfg = shared_cfg(1);
+        let mut ic = Interconnect::new(&cfg, 2);
+        let charges = ic.arbitrate(&[vec![event(10, 0)], vec![event(0, 0)]]);
+        assert_eq!(charges[1].delay_cycles, 0, "earlier event goes first");
+        assert!(charges[0].delay_cycles > 0);
+    }
+
+    #[test]
+    fn arbitrate_is_deterministic() {
+        let cfg = shared_cfg(4);
+        let streams: Vec<Vec<MemEvent>> = (0..3)
+            .map(|s| (0..50).map(|i| event(i * 17 + s, i % 9)).collect())
+            .collect();
+        let a = Interconnect::new(&cfg, 3).arbitrate(&streams);
+        let b = Interconnect::new(&cfg, 3).arbitrate(&streams);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per shard")]
+    fn wrong_stream_count_panics() {
+        let mut ic = Interconnect::new(&shared_cfg(4), 2);
+        let _ = ic.arbitrate(&[Vec::new()]);
+    }
+}

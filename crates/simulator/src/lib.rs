@@ -15,6 +15,12 @@
 //!   payload (SSP widens entries; baselines use `()`).
 //! * [`machine`] — the facade gluing these together with per-core cycle
 //!   accounting and NVRAM write counters classified by purpose.
+//! * [`interconnect`] / [`bankq`] — the deterministic *cross-shard*
+//!   memory-controller model: shards record their memory events against
+//!   local virtual time, and at epoch boundaries the run driver merges
+//!   the streams through shared per-bank FIFO queues, charging queueing
+//!   delay back to each shard's clock (disabled by default; see
+//!   [`config::InterconnectConfig`]).
 //!
 //! The substrate is *functional*: stores move real bytes, dirty lines live
 //! only in caches until written back or flushed, and
@@ -48,8 +54,10 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod bankq;
 pub mod cache;
 pub mod config;
+pub mod interconnect;
 pub mod machine;
 pub mod phys;
 pub mod stats;
@@ -58,6 +66,7 @@ pub mod tlb;
 
 pub use addr::{LineIdx, PhysAddr, Ppn, VirtAddr, Vpn, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 pub use cache::{CoreId, TxEviction};
-pub use config::MachineConfig;
+pub use config::{InterconnectConfig, MachineConfig};
+pub use interconnect::{EpochCharge, Interconnect, MemEvent};
 pub use machine::Machine;
 pub use stats::{MachineStats, WriteClass};

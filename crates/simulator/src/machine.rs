@@ -9,6 +9,7 @@
 use crate::addr::{PhysAddr, LINE_SIZE};
 use crate::cache::{AccessResult, CacheHierarchy, CoreId, LineOp};
 use crate::config::MachineConfig;
+use crate::interconnect::{EpochCharge, MemEvent};
 use crate::phys::PhysMem;
 use crate::stats::{MachineStats, WriteClass};
 use crate::timing::{AccessKind, MemTiming};
@@ -97,9 +98,44 @@ impl Machine {
         self.core_cycles[core.index()] += cycles;
     }
 
+    /// Refreshes the local virtual time stamped onto memory events the
+    /// timing model records for the cross-shard interconnect. Called at
+    /// every public entry point that can reach the memory controller; a
+    /// cheap no-op when the interconnect is disabled.
+    fn stamp_event_clock(&mut self) {
+        if self.timing.recording() {
+            let now = self.core_cycles.iter().copied().max().unwrap_or(0);
+            self.timing.set_now(now);
+        }
+    }
+
+    /// Drains the memory events recorded since the last drain (empty
+    /// unless [`InterconnectConfig::enabled`] is set). The driver feeds
+    /// these to [`Interconnect::arbitrate`] at epoch boundaries.
+    ///
+    /// [`InterconnectConfig::enabled`]: crate::config::InterconnectConfig::enabled
+    /// [`Interconnect::arbitrate`]: crate::interconnect::Interconnect::arbitrate
+    pub fn take_mem_events(&mut self) -> Vec<MemEvent> {
+        self.timing.take_events()
+    }
+
+    /// Applies one epoch's interconnect verdict to this shard: the
+    /// queueing delay stalls `core` (back-pressure visible to everything
+    /// the shard does next) and the contention counters land in
+    /// [`MachineStats`].
+    pub fn apply_epoch_charge(&mut self, core: CoreId, charge: &EpochCharge) {
+        self.core_cycles[core.index()] += charge.delay_cycles;
+        self.timing.stall_port(charge.delay_cycles);
+        self.stats.bankq_delay_cycles += charge.delay_cycles;
+        self.stats.bankq_conflicts += charge.conflicts;
+        self.stats.bankq_row_hits += charge.row_hits;
+        self.stats.bankq_row_misses += charge.row_misses;
+    }
+
     /// Reads `buf.len()` bytes at `addr` through the cache hierarchy.
     /// The range must lie within one cache line.
     pub fn read(&mut self, core: CoreId, addr: PhysAddr, buf: &mut [u8]) -> AccessResult {
+        self.stamp_event_clock();
         let off = addr.line_offset();
         assert!(off + buf.len() <= LINE_SIZE, "read crosses line boundary");
         let mut line = [0u8; LINE_SIZE];
@@ -122,6 +158,7 @@ impl Machine {
     /// line transactional (see [`CacheHierarchy`] TX-bit rules). The range
     /// must lie within one cache line.
     pub fn write(&mut self, core: CoreId, addr: PhysAddr, data: &[u8], tx: bool) -> AccessResult {
+        self.stamp_event_clock();
         let off = addr.line_offset();
         let result = self.cache.access(
             core,
@@ -143,6 +180,7 @@ impl Machine {
     /// models background write-back that stays off the critical path.
     /// Returns `true` if the line was dirty.
     pub fn flush(&mut self, core: Option<CoreId>, addr: PhysAddr, class: WriteClass) -> bool {
+        self.stamp_event_clock();
         match self.cache.flush_line(
             addr,
             class,
@@ -165,6 +203,7 @@ impl Machine {
     /// SSP line remap: move `core`'s cached copy of `old` to tag `new`.
     /// Returns `false` if the line was not present in `core`'s L1.
     pub fn retag(&mut self, core: CoreId, old: PhysAddr, new: PhysAddr) -> Option<AccessResult> {
+        self.stamp_event_clock();
         let result = self.cache.retag(
             core,
             old,
@@ -199,6 +238,7 @@ impl Machine {
         data: &[u8],
         class: WriteClass,
     ) {
+        self.stamp_event_clock();
         // Split page-crossing ranges (the page store is page-granular).
         let mut off = 0usize;
         while off < data.len() {
@@ -256,6 +296,7 @@ impl Machine {
         addr: PhysAddr,
         class: WriteClass,
     ) -> u64 {
+        self.stamp_event_clock();
         let cycles =
             self.timing
                 .access_cycles(&self.cfg, &mut self.stats, kind, addr, AccessKind::Write);
@@ -291,6 +332,7 @@ impl Machine {
         data: [u8; LINE_SIZE],
         class: WriteClass,
     ) -> AccessResult {
+        self.stamp_event_clock();
         let kind = PhysMem::kind_of_addr(addr);
         let _ =
             self.timing
@@ -312,6 +354,7 @@ impl Machine {
 
     /// Reads a full line directly from memory (uncached).
     pub fn read_line_uncached(&mut self, addr: PhysAddr) -> [u8; LINE_SIZE] {
+        self.stamp_event_clock();
         let kind = PhysMem::kind_of_addr(addr);
         let _ = self
             .timing
@@ -327,6 +370,7 @@ impl Machine {
     /// Copies whole-line data directly between physical lines in memory
     /// (consolidation's DMA-style copy). Counts reads and writes.
     pub fn copy_line_uncached(&mut self, from: PhysAddr, to: PhysAddr, class: WriteClass) {
+        self.stamp_event_clock();
         let data = self.mem.read_line(from.ppn(), from.line_index());
         let _ = self.timing.access_cycles(
             &self.cfg,
@@ -358,6 +402,7 @@ impl Machine {
     /// cached copy over memory — used by recovery *tests* and debugging,
     /// not by engines (they must go through `read`).
     pub fn peek_line_coherent(&mut self, core: CoreId, addr: PhysAddr) -> [u8; LINE_SIZE] {
+        self.stamp_event_clock();
         let mut buf = [0u8; LINE_SIZE];
         let r = self.cache.access(
             core,

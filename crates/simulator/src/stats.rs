@@ -95,6 +95,15 @@ pub struct MachineStats {
     pub row_hits: u64,
     /// Row-buffer misses in the memory timing model.
     pub row_misses: u64,
+    /// Cycles this shard's accesses waited in the shared interconnect's
+    /// bank queues (zero unless the cross-shard interconnect is enabled).
+    pub bankq_delay_cycles: u64,
+    /// Accesses that queued behind another shard at the shared controller.
+    pub bankq_conflicts: u64,
+    /// Row-buffer hits at the shared interconnect's banks.
+    pub bankq_row_hits: u64,
+    /// Row-buffer misses at the shared interconnect's banks.
+    pub bankq_row_misses: u64,
 }
 
 impl MachineStats {
@@ -162,6 +171,10 @@ impl MachineStats {
         out.writebacks = self.writebacks - base.writebacks;
         out.row_hits = self.row_hits - base.row_hits;
         out.row_misses = self.row_misses - base.row_misses;
+        out.bankq_delay_cycles = self.bankq_delay_cycles - base.bankq_delay_cycles;
+        out.bankq_conflicts = self.bankq_conflicts - base.bankq_conflicts;
+        out.bankq_row_hits = self.bankq_row_hits - base.bankq_row_hits;
+        out.bankq_row_misses = self.bankq_row_misses - base.bankq_row_misses;
         out
     }
 
@@ -183,6 +196,10 @@ impl MachineStats {
         self.writebacks += other.writebacks;
         self.row_hits += other.row_hits;
         self.row_misses += other.row_misses;
+        self.bankq_delay_cycles += other.bankq_delay_cycles;
+        self.bankq_conflicts += other.bankq_conflicts;
+        self.bankq_row_hits += other.bankq_row_hits;
+        self.bankq_row_misses += other.bankq_row_misses;
     }
 }
 
@@ -201,6 +218,16 @@ impl fmt::Display for MachineStats {
             "cache: L1 {} / L2 {} / L3 {} / mem {}",
             self.l1_hits, self.l2_hits, self.l3_hits, self.mem_accesses
         )?;
+        if self.bankq_delay_cycles != 0 || self.bankq_conflicts != 0 {
+            writeln!(
+                f,
+                "interconnect: {} queued cycles / {} conflicts / rows {}h {}m",
+                self.bankq_delay_cycles,
+                self.bankq_conflicts,
+                self.bankq_row_hits,
+                self.bankq_row_misses
+            )?;
+        }
         write!(
             f,
             "tlb misses {} | flips {} | writebacks {}",
@@ -246,11 +273,16 @@ mod tests {
         let mut base = MachineStats::new();
         base.record_nvram_writes(WriteClass::Log, 2);
         base.row_hits = 5;
+        base.bankq_delay_cycles = 11;
         let mut total = base.clone();
         let mut delta = MachineStats::new();
         delta.record_nvram_write(WriteClass::Data);
         delta.l1_hits = 9;
         delta.row_misses = 1;
+        delta.bankq_delay_cycles = 40;
+        delta.bankq_conflicts = 2;
+        delta.bankq_row_hits = 3;
+        delta.bankq_row_misses = 4;
         total.merge(&delta);
         assert_eq!(total.diff(&base), delta);
     }

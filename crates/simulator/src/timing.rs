@@ -9,6 +9,7 @@
 
 use crate::addr::PhysAddr;
 use crate::config::{MachineConfig, MemTechConfig};
+use crate::interconnect::MemEvent;
 use crate::stats::MachineStats;
 
 /// Which memory technology an access targets.
@@ -45,9 +46,9 @@ impl Channel {
         }
     }
 
-    /// Returns the latency of the access in nanoseconds and whether the
-    /// access hit the open row buffer.
-    fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> (f64, bool) {
+    /// Returns the latency of the access in nanoseconds, whether the
+    /// access hit the open row buffer, and the row index it targeted.
+    fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> (f64, bool, u64) {
         let row_bytes = self.tech.row_buffer_bytes.max(1) as u64;
         let row = addr.raw() / row_bytes;
         let bank = (row % self.open_rows.len() as u64) as usize;
@@ -62,7 +63,7 @@ impl Channel {
         } else {
             base + self.tech.row_miss_penalty_ns
         };
-        (ns, hit)
+        (ns, hit, row)
     }
 
     fn reset_rows(&mut self) {
@@ -93,6 +94,20 @@ impl Channel {
 pub struct MemTiming {
     dram: Channel,
     nvram: Channel,
+    /// When `true` (the machine's interconnect model is enabled), every
+    /// access is also appended to `events` for epoch arbitration.
+    recording: bool,
+    /// The issuing core's cycle count, stamped onto recorded events; the
+    /// machine refreshes it at each public entry point.
+    now: u64,
+    /// Pacing cursor: a shard issues memory traffic through one
+    /// controller port, so recorded arrivals are spaced at least one
+    /// service time apart. Without this, background bursts (write-backs,
+    /// checkpoints — which charge no core cycles) would all "arrive" at
+    /// one instant and self-queue quadratically, drowning the cross-shard
+    /// contention the model exists to expose.
+    cursor: u64,
+    events: Vec<MemEvent>,
 }
 
 impl MemTiming {
@@ -101,6 +116,10 @@ impl MemTiming {
         Self {
             dram: Channel::new(cfg.dram),
             nvram: Channel::new(cfg.nvram),
+            recording: cfg.interconnect.enabled,
+            now: 0,
+            cursor: 0,
+            events: Vec::new(),
         }
     }
 
@@ -118,19 +137,59 @@ impl MemTiming {
             MemKind::Dram => &mut self.dram,
             MemKind::Nvram => &mut self.nvram,
         };
-        let (ns, hit) = channel.access(addr, kind);
+        let (ns, hit, row) = channel.access(addr, kind);
         if hit {
             stats.row_hits += 1;
         } else {
             stats.row_misses += 1;
         }
-        cfg.ns_to_cycles(ns)
+        let cycles = cfg.ns_to_cycles(ns);
+        if self.recording {
+            let at = self.now.max(self.cursor);
+            self.cursor = at + cycles.max(1);
+            self.events.push(MemEvent {
+                at,
+                mem,
+                row,
+                write: kind == AccessKind::Write,
+            });
+        }
+        cycles
     }
 
-    /// Clears all open-row buffers (used after a simulated power cycle).
+    /// Whether accesses are being recorded for the interconnect model.
+    pub fn recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Sets the local virtual time stamped onto subsequently recorded
+    /// events (a no-op unless recording).
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Takes the recorded event stream, leaving an empty one. Events are
+    /// in issue order, so their timestamps are nondecreasing.
+    pub fn take_events(&mut self) -> Vec<MemEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Pushes the pacing cursor `delay` cycles further out: when the
+    /// interconnect charges a shard for cross-shard queueing, the shard's
+    /// future arrivals shift by the same amount (the port stalls with the
+    /// client), so an oversubscribed bank sees its offered load throttle
+    /// instead of accumulating an unbounded backlog.
+    pub fn stall_port(&mut self, delay: u64) {
+        self.cursor += delay;
+    }
+
+    /// Clears all open-row buffers, any recorded events and the pacing
+    /// cursor (used after a simulated power cycle).
     pub fn reset(&mut self) {
         self.dram.reset_rows();
         self.nvram.reset_rows();
+        self.events.clear();
+        self.cursor = 0;
     }
 }
 
@@ -192,6 +251,94 @@ mod tests {
         t.access_cycles(&cfg, &mut s, MemKind::Nvram, addr, AccessKind::Read);
         assert_eq!(s.row_hits, 0);
         assert_eq!(s.row_misses, 2);
+    }
+
+    #[test]
+    fn recording_is_off_by_default_and_captures_when_enabled() {
+        let (cfg, mut t, mut s) = setup();
+        t.access_cycles(
+            &cfg,
+            &mut s,
+            MemKind::Nvram,
+            PhysAddr::new(0),
+            AccessKind::Write,
+        );
+        assert!(!t.recording());
+        assert!(t.take_events().is_empty(), "disabled model records nothing");
+
+        let mut icfg = cfg.clone();
+        icfg.interconnect = crate::config::InterconnectConfig::shared();
+        let mut t = MemTiming::new(&icfg);
+        assert!(t.recording());
+        t.set_now(500);
+        t.access_cycles(
+            &icfg,
+            &mut s,
+            MemKind::Nvram,
+            PhysAddr::new(4096),
+            AccessKind::Write,
+        );
+        t.set_now(5000);
+        t.access_cycles(
+            &icfg,
+            &mut s,
+            MemKind::Dram,
+            PhysAddr::new(64),
+            AccessKind::Read,
+        );
+        let events = t.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 500);
+        assert_eq!(events[0].mem, MemKind::Nvram);
+        assert!(events[0].write);
+        assert_eq!(events[0].row, 4096 / icfg.nvram.row_buffer_bytes as u64);
+        assert_eq!(events[1].at, 5000);
+        assert!(!events[1].write);
+        assert!(t.take_events().is_empty(), "take drains the stream");
+    }
+
+    #[test]
+    fn recorded_arrivals_are_paced_by_service_time() {
+        // A burst issued "at the same instant" (background write-back
+        // charges no core cycles) must still arrive one service time
+        // apart — the shard has one controller port.
+        let mut cfg = MachineConfig::default();
+        cfg.interconnect = crate::config::InterconnectConfig::shared();
+        let mut t = MemTiming::new(&cfg);
+        let mut s = MachineStats::new();
+        t.set_now(100);
+        for i in 0..3u64 {
+            t.access_cycles(
+                &cfg,
+                &mut s,
+                MemKind::Nvram,
+                PhysAddr::new(i * 4096),
+                AccessKind::Write,
+            );
+        }
+        let events = t.take_events();
+        assert_eq!(events[0].at, 100);
+        assert!(events[1].at > events[0].at);
+        assert!(events[2].at > events[1].at);
+        let miss = cfg.ns_to_cycles(cfg.nvram.write_ns + cfg.nvram.row_miss_penalty_ns);
+        assert_eq!(events[1].at - events[0].at, miss);
+    }
+
+    #[test]
+    fn reset_discards_recorded_events() {
+        let mut cfg = MachineConfig::default();
+        cfg.interconnect = crate::config::InterconnectConfig::shared();
+        let mut t = MemTiming::new(&cfg);
+        let mut s = MachineStats::new();
+        t.access_cycles(
+            &cfg,
+            &mut s,
+            MemKind::Nvram,
+            PhysAddr::new(0),
+            AccessKind::Write,
+        );
+        t.reset();
+        assert!(t.take_events().is_empty());
     }
 
     #[test]

@@ -39,7 +39,7 @@ const LEAF: u8 = 0;
 const INTERNAL: u8 = 1;
 
 /// A persistent B+-tree with 8-byte keys and values.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BTree {
     /// Address of the 8-byte root pointer cell (in its own page so the
     /// root swap is a single-line update).
@@ -407,7 +407,7 @@ impl BTree {
 
 /// The BTree microbenchmark: search, then delete-if-found /
 /// insert-if-absent.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BTreeWorkload {
     dist: KeyDist,
     initial: u64,
@@ -433,6 +433,14 @@ impl BTreeWorkload {
 impl Workload for BTreeWorkload {
     fn name(&self) -> &'static str {
         "BTree"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.tree = None;
     }
 
     fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {

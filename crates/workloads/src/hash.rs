@@ -21,7 +21,7 @@ const OFF_VALUE: u64 = 8;
 const OFF_NEXT: u64 = 16;
 
 /// A persistent chained hashtable.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HashTable {
     buckets: u64,
     base: VirtAddr,
@@ -119,7 +119,7 @@ impl HashTable {
 }
 
 /// The Hash microbenchmark: search, then delete-if-found / insert-if-absent.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HashWorkload {
     dist: KeyDist,
     buckets: u64,
@@ -148,6 +148,14 @@ impl HashWorkload {
 impl Workload for HashWorkload {
     fn name(&self) -> &'static str {
         "Hash"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.table = None;
     }
 
     fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {

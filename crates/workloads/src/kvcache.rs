@@ -33,7 +33,7 @@ const HDR_HEAD: u64 = 8;
 const HDR_TAIL: u64 = 16;
 
 /// A persistent LRU key-value cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KvCache {
     header: VirtAddr,
     buckets_base: VirtAddr,
@@ -197,7 +197,7 @@ impl KvCache {
 }
 
 /// The Memcached workload: memslap-like mix, 90% SET, key skew.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemcachedWorkload {
     dist: KeyDist,
     capacity: u64,
@@ -223,6 +223,14 @@ impl MemcachedWorkload {
 impl Workload for MemcachedWorkload {
     fn name(&self) -> &'static str {
         "Memcached"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.cache = None;
     }
 
     fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {

@@ -30,7 +30,7 @@ const RED: u64 = 0;
 const BLACK: u64 = 1;
 
 /// A persistent red-black tree with 8-byte keys and values.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RbTree {
     /// Cell holding the root pointer.
     root_cell: VirtAddr,
@@ -436,7 +436,7 @@ impl RbTree {
 
 /// The RBTree microbenchmark: search, then delete-if-found /
 /// insert-if-absent.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RbTreeWorkload {
     dist: KeyDist,
     initial: u64,
@@ -462,6 +462,14 @@ impl RbTreeWorkload {
 impl Workload for RbTreeWorkload {
     fn name(&self) -> &'static str {
         "RBTree"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.tree = None;
     }
 
     fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {

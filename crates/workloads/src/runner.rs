@@ -26,22 +26,38 @@
 //! round-robin on the calling thread and must produce byte-equal results
 //! (`tests/threaded_equivalence.rs` locks this in). Only the host-time
 //! measurements ([`ParallelRun::host_elapsed`]) are outside the contract.
+//!
+//! # Cross-shard memory interconnect
+//!
+//! When the shards' machine config enables
+//! [`InterconnectConfig`](ssp_simulator::config::InterconnectConfig), the
+//! measured phase runs in *epochs*: each worker executes until its local
+//! clock crosses the next `epoch_cycles` boundary, all workers rendezvous
+//! at a barrier, one leader merges the shards' recorded memory-event
+//! streams through the shared [`Interconnect`] in `(local time, worker
+//! index)` order, and each shard's cross-shard queueing delay is charged
+//! back to its clock before the next epoch. Every arbitration input is
+//! shard-local, so the determinism contract above holds unchanged with
+//! contention enabled (`tests/interconnect_contention.rs`).
 
-use std::sync::Barrier;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ssp_simulator::cache::CoreId;
+use ssp_simulator::config::MachineConfig;
+use ssp_simulator::interconnect::{EpochCharge, Interconnect, MemEvent};
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::{MachineStats, WriteClass};
 use ssp_txn::engine::{TxnEngine, TxnStats};
 
 /// A benchmark program driving a [`TxnEngine`].
 ///
-/// Workloads are `Send` (plain owned data) so the threaded driver can move
-/// one instance into each worker thread.
-pub trait Workload: Send {
+/// Workloads are `Send + Sync` plain owned data: the threaded driver
+/// moves one instance into each worker thread, and the factories clone
+/// shared prototypes from inside those threads.
+pub trait Workload: Send + Sync {
     /// Display name ("BTree", "SPS", ...).
     fn name(&self) -> &'static str;
 
@@ -51,6 +67,22 @@ pub trait Workload: Send {
     /// Executes the body of one transaction (the driver wraps it in
     /// `begin`/`commit`).
     fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng);
+
+    /// Deep-copies the workload. Matrix harnesses build one *prototype*
+    /// per (workload kind, scale) and clone it per cell and per worker, so
+    /// distributions and layout parameters are derived once.
+    fn clone_box(&self) -> Box<dyn Workload>;
+
+    /// Forgets all engine-bound state (addresses handed out by an earlier
+    /// [`setup`](Workload::setup)) so the instance can be reused against a
+    /// fresh engine.
+    fn reset(&mut self);
+}
+
+impl Clone for Box<dyn Workload> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 // Boxed workloads are workloads, so the type-erased factories in
@@ -64,6 +96,12 @@ impl<T: Workload + ?Sized> Workload for Box<T> {
     }
     fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
         (**self).run_txn(engine, core, rng)
+    }
+    fn clone_box(&self) -> Box<dyn Workload> {
+        (**self).clone_box()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
     }
 }
 
@@ -207,6 +245,146 @@ pub fn worker_share(total: u64, workers: usize, w: usize) -> u64 {
 
 const SHARD_CORE: CoreId = CoreId::new(0);
 
+/// A reusable rendezvous like [`std::sync::Barrier`], except that a
+/// panicking participant can [`poison`](PoisonBarrier::poison) it: every
+/// parked or future waiter panics instead of staying parked forever. The
+/// epoch protocol rendezvouses hundreds of times per run, so without
+/// poisoning a single engine panic inside one worker would deadlock the
+/// other workers (and the coordinator) into an indefinite hang — in CI
+/// that is a job timeout with the original panic message never surfaced.
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<PoisonBarrierState>,
+    cv: Condvar,
+}
+
+struct PoisonBarrierState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(PoisonBarrierState {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Recovers the state even if a panic inside `wait` poisoned the
+    /// mutex — the barrier's own `poisoned` flag is the source of truth.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoisonBarrierState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `n` participants arrive; returns `true` for exactly
+    /// one of them (the leader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier was poisoned (before or while waiting).
+    fn wait(&self) -> bool {
+        let mut st = self.lock();
+        assert!(!st.poisoned, "a peer worker thread panicked");
+        let generation = st.generation;
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        while st.generation == generation && !st.poisoned {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        assert!(!st.poisoned, "a peer worker thread panicked");
+        false
+    }
+
+    fn poison(&self) {
+        self.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Poisons every barrier of the run if the owning thread unwinds, so a
+/// panic anywhere in a worker (or the coordinator) fails the whole run
+/// loudly instead of deadlocking the remaining rendezvous.
+struct PoisonOnPanic<'a>(Vec<&'a PoisonBarrier>);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            for barrier in &self.0 {
+                barrier.poison();
+            }
+        }
+    }
+}
+
+/// Rendezvous state for the interconnect's epoch arbitration: workers
+/// deposit their event streams, one (arbitrary — the computation is pure)
+/// leader runs the deterministic merge, and everyone picks up its charge.
+struct EpochSync {
+    barrier: PoisonBarrier,
+    state: Mutex<EpochState>,
+}
+
+struct EpochState {
+    interconnect: Option<Interconnect>,
+    arbiter_cfg: Option<MachineConfig>,
+    streams: Vec<Vec<MemEvent>>,
+    remaining: Vec<u64>,
+    charges: Vec<EpochCharge>,
+    done: bool,
+}
+
+impl EpochSync {
+    fn new(workers: usize) -> Self {
+        Self {
+            barrier: PoisonBarrier::new(workers),
+            state: Mutex::new(EpochState {
+                interconnect: None,
+                arbiter_cfg: None,
+                streams: vec![Vec::new(); workers],
+                remaining: vec![u64::MAX; workers],
+                charges: vec![EpochCharge::default(); workers],
+                done: false,
+            }),
+        }
+    }
+
+    /// Worker 0 deposits its machine config before the start barrier;
+    /// every interconnect decision of the run — whether epochs run at
+    /// all, the epoch length, and the controller's banks and service
+    /// times — derives from this one config in *both* execution modes.
+    /// Shards are expected to share the knobs; routing everything through
+    /// worker 0's copy means a mixed-configuration factory can neither
+    /// strand part of the team at the epoch barrier nor make the
+    /// arbitration depend on which thread happens to win a barrier
+    /// leadership (an enabled shard in a disabled run merely has its
+    /// event log discarded per transaction).
+    fn deposit_arbiter_config(&self, cfg: MachineConfig) {
+        self.state.lock().expect("epoch state poisoned").arbiter_cfg = Some(cfg);
+    }
+
+    /// Worker 0's machine config (valid after the start barrier).
+    fn arbiter_config(&self) -> MachineConfig {
+        self.state
+            .lock()
+            .expect("epoch state poisoned")
+            .arbiter_cfg
+            .clone()
+            .expect("start barrier guarantees the deposit")
+    }
+}
+
 /// Per-worker driver state for the sharded run.
 struct Worker<E, W> {
     engine: E,
@@ -240,11 +418,77 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
         for _ in 0..self.warmup {
             self.one_txn();
         }
+        // Setup and warm-up run uncontended: their recorded events are
+        // discarded so epoch arbitration covers the measured phase only.
+        let _ = self.engine.machine_mut().take_mem_events();
         (
             self.engine.machine().stats().clone(),
             self.engine.txn_stats().clone(),
             self.engine.machine().cycles(SHARD_CORE),
         )
+    }
+
+    /// Whether this worker's shard participates in epoch arbitration.
+    fn interconnect_enabled(&self) -> bool {
+        self.engine.machine().config().interconnect.enabled
+    }
+
+    /// Runs this worker's transactions up to the next epoch boundary:
+    /// local virtual time `target`, or until the share is exhausted.
+    /// Returns the transactions still to run.
+    fn run_until(&mut self, remaining: u64, target: u64) -> u64 {
+        let mut remaining = remaining;
+        while remaining > 0 && self.engine.machine().cycles(SHARD_CORE) < target {
+            self.one_txn();
+            remaining -= 1;
+        }
+        remaining
+    }
+
+    /// The measured phase under epoch arbitration (threaded mode): run an
+    /// epoch, rendezvous with every other worker, let the leader merge
+    /// all event streams through the shared controller, apply this
+    /// shard's charge, repeat until every worker is out of transactions.
+    ///
+    /// Every quantity feeding the arbitration (local clocks, event
+    /// streams, worker indices, and `arbiter_cfg` — worker 0's machine
+    /// config, identical for every worker and both execution modes) is
+    /// deterministic, so the outcome is independent of host scheduling
+    /// even though an arbitrary barrier leader runs the merge.
+    fn run_measured_epochs(&mut self, w: usize, sync: &EpochSync, arbiter_cfg: &MachineConfig) {
+        let epoch_cycles = arbiter_cfg.interconnect.epoch_cycles.max(1);
+        let mut remaining = self.txns;
+        let mut target = self.engine.machine().cycles(SHARD_CORE) + epoch_cycles;
+        loop {
+            remaining = self.run_until(remaining, target);
+            {
+                let mut st = sync.state.lock().expect("epoch state poisoned");
+                st.streams[w] = self.engine.machine_mut().take_mem_events();
+                st.remaining[w] = remaining;
+            }
+            if sync.barrier.wait() {
+                let mut st = sync.state.lock().expect("epoch state poisoned");
+                let st = &mut *st;
+                let shards = st.streams.len();
+                let ic = st
+                    .interconnect
+                    .get_or_insert_with(|| Interconnect::new(arbiter_cfg, shards));
+                st.charges = ic.arbitrate(&st.streams);
+                st.done = st.remaining.iter().all(|&r| r == 0);
+            }
+            sync.barrier.wait();
+            let (charge, done) = {
+                let st = sync.state.lock().expect("epoch state poisoned");
+                (st.charges[w], st.done)
+            };
+            self.engine
+                .machine_mut()
+                .apply_epoch_charge(SHARD_CORE, &charge);
+            if done {
+                break;
+            }
+            target += epoch_cycles;
+        }
     }
 
     fn finish(self, w: usize, base: (MachineStats, TxnStats, u64)) -> ShardRun<E> {
@@ -333,19 +577,41 @@ where
 {
     // Two rendezvous with the coordinator bracket the measured phase so
     // host_elapsed covers exactly the span in which measured transactions
-    // run (setup and warm-up stay outside).
-    let start = Barrier::new(cfg.threads + 1);
-    let end = Barrier::new(cfg.threads + 1);
+    // run (setup and warm-up stay outside). Poisoning barriers turn a
+    // panic in any participant into a loud failure of the whole run
+    // rather than a deadlock of the surviving waiters.
+    let start = PoisonBarrier::new(cfg.threads + 1);
+    let end = PoisonBarrier::new(cfg.threads + 1);
+    // Epoch rendezvous for the interconnect (workers only); unused unless
+    // the shards' machine config enables the model. All shards must agree
+    // on `interconnect.enabled` — they come from one factory, which hands
+    // every worker the same knobs.
+    let epoch_sync = EpochSync::new(cfg.threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|w| {
-                let (start, end) = (&start, &end);
+                let (start, end, epoch_sync) = (&start, &end, &epoch_sync);
                 scope.spawn(move || {
+                    let _poison = PoisonOnPanic(vec![start, end, &epoch_sync.barrier]);
                     let mut worker = Worker::new(mk_engine(w), mk_workload(w), cfg, w);
                     let base = worker.prepare();
+                    if w == 0 {
+                        epoch_sync.deposit_arbiter_config(worker.engine.machine().config().clone());
+                    }
                     start.wait();
-                    for _ in 0..worker.txns {
-                        worker.one_txn();
+                    // All interconnect decisions come from worker 0's
+                    // config (see `deposit_arbiter_config`).
+                    let arbiter_cfg = epoch_sync.arbiter_config();
+                    if arbiter_cfg.interconnect.enabled {
+                        worker.run_measured_epochs(w, epoch_sync, &arbiter_cfg);
+                    } else {
+                        for _ in 0..worker.txns {
+                            worker.one_txn();
+                            // Free for a disabled shard; keeps the log of
+                            // an (unsupported) enabled-while-run-disabled
+                            // shard from growing without bound.
+                            let _ = worker.engine.machine_mut().take_mem_events();
+                        }
                     }
                     end.wait();
                     worker.finish(w, base)
@@ -379,14 +645,21 @@ where
     let bases: Vec<_> = workers.iter_mut().map(Worker::prepare).collect();
 
     let t0 = Instant::now();
-    // The reference schedule: one transaction per worker per round, in
-    // worker order — the sequential analogue of the threaded interleaving.
-    let mut remaining: Vec<u64> = workers.iter().map(|w| w.txns).collect();
-    while remaining.iter().any(|&r| r > 0) {
-        for (w, worker) in workers.iter_mut().enumerate() {
-            if remaining[w] > 0 {
-                worker.one_txn();
-                remaining[w] -= 1;
+    // Like the threaded driver, the run routes on worker 0's flag.
+    if workers[0].interconnect_enabled() {
+        run_epochs_sequential(&mut workers);
+    } else {
+        // The reference schedule: one transaction per worker per round, in
+        // worker order — the sequential analogue of the threaded
+        // interleaving.
+        let mut remaining: Vec<u64> = workers.iter().map(|w| w.txns).collect();
+        while remaining.iter().any(|&r| r > 0) {
+            for (w, worker) in workers.iter_mut().enumerate() {
+                if remaining[w] > 0 {
+                    worker.one_txn();
+                    let _ = worker.engine.machine_mut().take_mem_events();
+                    remaining[w] -= 1;
+                }
             }
         }
     }
@@ -401,6 +674,45 @@ where
     (shards, host_elapsed)
 }
 
+/// The sequential analogue of [`Worker::run_measured_epochs`]: identical
+/// per-epoch arithmetic (run to the local-time boundary, merge all event
+/// streams in worker order, charge the delays), executed one worker at a
+/// time on the calling thread — so a threaded run must match it
+/// bit-for-bit.
+fn run_epochs_sequential<E: TxnEngine, W: Workload>(workers: &mut [Worker<E, W>]) {
+    let epoch_cycles = workers[0]
+        .engine
+        .machine()
+        .config()
+        .interconnect
+        .epoch_cycles
+        .max(1);
+    let mut ic = Interconnect::new(workers[0].engine.machine().config(), workers.len());
+    let mut remaining: Vec<u64> = workers.iter().map(|w| w.txns).collect();
+    let mut targets: Vec<u64> = workers
+        .iter()
+        .map(|w| w.engine.machine().cycles(SHARD_CORE) + epoch_cycles)
+        .collect();
+    loop {
+        let mut streams = Vec::with_capacity(workers.len());
+        for (w, worker) in workers.iter_mut().enumerate() {
+            remaining[w] = worker.run_until(remaining[w], targets[w]);
+            streams.push(worker.engine.machine_mut().take_mem_events());
+        }
+        let charges = ic.arbitrate(&streams);
+        for (w, worker) in workers.iter_mut().enumerate() {
+            worker
+                .engine
+                .machine_mut()
+                .apply_epoch_charge(SHARD_CORE, &charges[w]);
+            targets[w] += epoch_cycles;
+        }
+        if remaining.iter().all(|&r| r == 0) {
+            break;
+        }
+    }
+}
+
 /// Runs `workload` on `engine`: setup, warm-up, then the measured phase —
 /// the **legacy schedule**: transactions interleaved round-robin across
 /// `cfg.threads` simulated cores of the *one shared machine*, on the
@@ -413,7 +725,9 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `cfg.threads` is zero or exceeds the machine's core count.
+/// Panics if `cfg.threads` is zero or exceeds the machine's core count,
+/// or if the machine enables the cross-shard interconnect (only
+/// [`run_parallel`] drains and arbitrates its event streams).
 pub fn run<E: TxnEngine>(
     engine: &mut E,
     workload: &mut dyn Workload,
@@ -423,6 +737,14 @@ pub fn run<E: TxnEngine>(
     assert!(
         cfg.threads <= engine.machine().config().cores,
         "more threads than simulated cores"
+    );
+    // The legacy driver has no epoch loop to drain the event log the
+    // machine records when the interconnect is on — a long run would
+    // just grow it unboundedly with no contention effect. Cross-shard
+    // contention needs the sharded driver.
+    assert!(
+        !engine.machine().config().interconnect.enabled,
+        "the cross-shard interconnect requires run_parallel"
     );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
@@ -633,6 +955,168 @@ mod tests {
         let p = parallel_sps(&cfg);
         let max = p.shards.iter().map(|s| s.elapsed_cycles).max().unwrap();
         assert_eq!(p.result.elapsed_cycles, max);
+    }
+
+    fn contended_sps(cfg: &RunConfig) -> ParallelRun<Ssp> {
+        let mut shard = MachineConfig::default().shard_slice(cfg.threads);
+        shard.interconnect = ssp_simulator::config::InterconnectConfig::shared();
+        shard.interconnect.epoch_cycles = 20_000;
+        run_parallel(
+            move |_| Ssp::new(shard.clone(), SspConfig::default()),
+            |_| Sps::new(1024, KeyDist::uniform(1024)),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn interconnect_run_commits_everything_and_charges_delay() {
+        let cfg = RunConfig {
+            threads: 4,
+            ..small_cfg()
+        };
+        let p = contended_sps(&cfg);
+        assert_eq!(p.result.txn_stats.committed, 100);
+        assert!(
+            p.result.stats.bankq_row_hits + p.result.stats.bankq_row_misses > 0,
+            "every measured access must pass through the controller"
+        );
+        assert!(
+            p.result.stats.bankq_delay_cycles > 0,
+            "four shards on one channel group must queue"
+        );
+        // The disabled run records nothing.
+        let baseline = parallel_sps(&cfg);
+        assert_eq!(baseline.result.stats.bankq_delay_cycles, 0);
+        assert_eq!(baseline.result.stats.bankq_row_misses, 0);
+        // Contention can only slow the merged wall-clock down.
+        assert!(p.result.elapsed_cycles > baseline.result.elapsed_cycles);
+    }
+
+    #[test]
+    fn interconnect_threaded_matches_sequential() {
+        let threaded = contended_sps(&RunConfig {
+            threads: 3,
+            ..small_cfg()
+        });
+        let sequential = contended_sps(&RunConfig {
+            threads: 3,
+            mode: ExecMode::Sequential,
+            ..small_cfg()
+        });
+        assert_eq!(threaded.result, sequential.result);
+        for (t, s) in threaded.shards.iter().zip(&sequential.shards) {
+            assert_eq!(t.stats, s.stats);
+            assert_eq!(t.elapsed_cycles, s.elapsed_cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires run_parallel")]
+    fn legacy_run_rejects_interconnect_machines() {
+        let mut cfg = MachineConfig::default();
+        cfg.interconnect = ssp_simulator::config::InterconnectConfig::shared();
+        let mut e = Ssp::new(cfg, SspConfig::default());
+        let mut w = Sps::new(64, KeyDist::uniform(64));
+        run(&mut e, &mut w, &small_cfg());
+    }
+
+    #[test]
+    fn mixed_interconnect_factories_follow_worker_zero() {
+        // Worker 0 disabled, worker 1 enabled: the run must neither
+        // deadlock nor arbitrate (worker 0's flag wins), and the odd
+        // shard's event log is discarded as it goes.
+        let plain = MachineConfig::default().shard_slice(2);
+        let mut contended = plain.clone();
+        contended.interconnect = ssp_simulator::config::InterconnectConfig::shared();
+        let cfg = RunConfig {
+            threads: 2,
+            ..small_cfg()
+        };
+        let p = run_parallel(
+            move |w| {
+                let shard = if w == 0 {
+                    plain.clone()
+                } else {
+                    contended.clone()
+                };
+                Ssp::new(shard, SspConfig::default())
+            },
+            |_| Sps::new(1024, KeyDist::uniform(1024)),
+            &cfg,
+        );
+        assert_eq!(p.result.txn_stats.committed, 100);
+        assert_eq!(p.result.stats.bankq_row_misses, 0, "no arbitration ran");
+    }
+
+    /// A workload whose `run_txn` panics after a few transactions — for
+    /// asserting that worker panics fail the run instead of deadlocking
+    /// the barriers.
+    #[derive(Debug, Clone)]
+    struct PanicBomb {
+        fuse: u64,
+        inner: Sps,
+    }
+
+    impl Workload for PanicBomb {
+        fn name(&self) -> &'static str {
+            "PanicBomb"
+        }
+        fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+            self.inner.setup(engine, core)
+        }
+        fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+            assert!(self.fuse > 0, "boom");
+            self.fuse -= 1;
+            self.inner.run_txn(engine, core, rng)
+        }
+        fn clone_box(&self) -> Box<dyn Workload> {
+            Box::new(self.clone())
+        }
+        fn reset(&mut self) {
+            self.inner.reset()
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn panicking_worker_fails_the_run_instead_of_hanging() {
+        // Worker 1 blows up mid-epoch; the poisoning barriers must wake
+        // everyone (including the coordinator) so the panic propagates
+        // out of run_parallel rather than deadlocking the rendezvous.
+        let mut shard = MachineConfig::default().shard_slice(3);
+        shard.interconnect = ssp_simulator::config::InterconnectConfig::shared();
+        shard.interconnect.epoch_cycles = 5_000;
+        run_parallel(
+            move |_| Ssp::new(shard.clone(), SspConfig::default()),
+            |w| PanicBomb {
+                // Survives warm-up (20/3 ≈ 7 txns) on every worker, then
+                // detonates early in worker 1's measured phase.
+                fuse: if w == 1 { 12 } else { u64::MAX },
+                inner: Sps::new(1024, KeyDist::uniform(1024)),
+            },
+            &RunConfig {
+                threads: 3,
+                ..small_cfg()
+            },
+        );
+    }
+
+    #[test]
+    fn workload_reset_allows_reuse_on_a_fresh_engine() {
+        let mut w = Sps::new(256, KeyDist::uniform(256));
+        let mut e1 = Ssp::new(MachineConfig::default(), SspConfig::default());
+        w.setup(&mut e1, CoreId::new(0));
+        let mut clone = w.clone_box();
+        clone.reset();
+        // A reset clone must rebuild its bindings against the new engine
+        // rather than dereferencing the old one's addresses.
+        let mut e2 = Ssp::new(MachineConfig::default(), SspConfig::default());
+        clone.setup(&mut e2, CoreId::new(0));
+        let mut rng = SmallRng::seed_from_u64(9);
+        e2.begin(CoreId::new(0));
+        clone.run_txn(&mut e2, CoreId::new(0), &mut rng);
+        e2.commit(CoreId::new(0));
+        assert_eq!(e2.txn_stats().committed > 0, true);
     }
 
     #[test]

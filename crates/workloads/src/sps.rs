@@ -11,7 +11,7 @@ use crate::dist::KeyDist;
 use crate::runner::Workload;
 
 /// The SPS (swap) workload over an array of `n` 8-byte elements.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sps {
     n: u64,
     dist: KeyDist,
@@ -47,6 +47,14 @@ impl Sps {
 impl Workload for Sps {
     fn name(&self) -> &'static str {
         "SPS"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.base = None;
     }
 
     fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {

@@ -55,7 +55,7 @@ impl Table {
 }
 
 /// The Vacation reservation emulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VacationWorkload {
     rows: u64,
     queries_per_txn: usize,
@@ -113,6 +113,18 @@ impl VacationWorkload {
 impl Workload for VacationWorkload {
     fn name(&self) -> &'static str {
         "Vacation"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.cars = None;
+        self.flights = None;
+        self.rooms = None;
+        self.customers = None;
+        self.reservations = 0;
     }
 
     fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {

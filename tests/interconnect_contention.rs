@@ -1,0 +1,203 @@
+//! The cross-shard memory interconnect: determinism contract and
+//! contention shape.
+//!
+//! Two families of assertions:
+//!
+//! 1. **Determinism** — with the interconnect *enabled*, the PR-2
+//!    contract still holds for every engine: a threaded run produces
+//!    bit-identical merged counters, per-shard counters and committed
+//!    persistent state as the `ExecMode::Sequential` reference and as
+//!    itself across repeats. Contention is simulated from shard-local
+//!    quantities only, so host scheduling must never leak in.
+//! 2. **Shape** — clients sharing one channel group pay a monotonically
+//!    growing per-transaction cost as the client count grows 1 → 8, while
+//!    clients with private (partitioned) channel groups stay flat.
+
+use ssp::baselines::{RedoLog, UndoLog};
+use ssp::core::engine::Ssp;
+use ssp::simulator::config::{InterconnectConfig, MachineConfig};
+use ssp::txn::engine::TxnEngine;
+use ssp::workloads::runner::{run_parallel, ExecMode, ParallelRun, RunConfig};
+use ssp::workloads::{KeyDist, Sps};
+use ssp::SspConfig;
+
+const THREADS: usize = 4;
+const REPEATS: usize = 3;
+
+fn cfg(mode: ExecMode) -> RunConfig {
+    RunConfig {
+        txns: 240,
+        warmup: 40,
+        threads: THREADS,
+        seed: 0x1C_2019,
+        mode,
+    }
+}
+
+/// A shard slice with the shared-channel-group interconnect enabled and a
+/// small epoch so several arbitration rounds happen per run.
+fn contended_shard(threads: usize) -> MachineConfig {
+    let mut shard = MachineConfig::default().shard_slice(threads);
+    shard.interconnect = InterconnectConfig::shared();
+    shard.interconnect.epoch_cycles = 10_000;
+    shard
+}
+
+fn sps_run<E: TxnEngine>(
+    mk: &(impl Fn(MachineConfig) -> E + Sync),
+    mode: ExecMode,
+) -> ParallelRun<E> {
+    let shard = contended_shard(THREADS);
+    run_parallel(
+        move |_| mk(shard.clone()),
+        |_| Sps::new(2048, KeyDist::uniform(2048)),
+        &cfg(mode),
+    )
+}
+
+fn committed_fingerprints<E: TxnEngine>(run: &mut ParallelRun<E>) -> Vec<u64> {
+    run.shards
+        .iter_mut()
+        .map(|s| {
+            s.engine.crash_and_recover();
+            s.engine.machine().nvram_fingerprint()
+        })
+        .collect()
+}
+
+/// Threaded == sequential reference == repeated threaded runs, with the
+/// interconnect enabled, for one engine factory.
+fn assert_engine_equivalence<E: TxnEngine>(mk: impl Fn(MachineConfig) -> E + Sync) {
+    let mut reference = sps_run(&mk, ExecMode::Sequential);
+    assert!(
+        reference.result.stats.bankq_row_hits + reference.result.stats.bankq_row_misses > 0,
+        "the controller must have arbitrated the measured phase"
+    );
+    let ref_prints = committed_fingerprints(&mut reference);
+
+    for rep in 0..REPEATS {
+        let mut threaded = sps_run(&mk, ExecMode::Threaded);
+        assert_eq!(
+            threaded.result, reference.result,
+            "merged counters diverged from the sequential reference (rep {rep})"
+        );
+        for (t, r) in threaded.shards.iter().zip(&reference.shards) {
+            assert_eq!(
+                t.stats, r.stats,
+                "shard {} machine counters (rep {rep})",
+                t.worker
+            );
+            assert_eq!(
+                t.elapsed_cycles, r.elapsed_cycles,
+                "shard {} simulated cycles (rep {rep})",
+                t.worker
+            );
+        }
+        assert_eq!(
+            committed_fingerprints(&mut threaded),
+            ref_prints,
+            "committed persistent state diverged (rep {rep})"
+        );
+    }
+}
+
+#[test]
+fn ssp_contended_threaded_equals_sequential_and_repeats() {
+    assert_engine_equivalence(|cfg| Ssp::new(cfg, SspConfig::default()));
+}
+
+#[test]
+fn undo_contended_threaded_equals_sequential_and_repeats() {
+    assert_engine_equivalence(UndoLog::new);
+}
+
+#[test]
+fn redo_contended_threaded_equals_sequential_and_repeats() {
+    assert_engine_equivalence(RedoLog::new);
+}
+
+/// Runs `clients` SSP shards of constant size and workload through the
+/// given interconnect; returns cycles per transaction on the critical
+/// path (every client executes `txns_per_client`).
+fn per_txn_cycles(interconnect: InterconnectConfig, clients: usize) -> u64 {
+    const TXNS_PER_CLIENT: u64 = 80;
+    // A constant per-client slice (an eighth of the machine) so the only
+    // variable along a sweep is the client count.
+    let mut shard = MachineConfig::default().shard_slice(8);
+    shard.interconnect = interconnect;
+    let run_cfg = RunConfig {
+        txns: TXNS_PER_CLIENT * clients as u64,
+        warmup: 20 * clients as u64,
+        threads: clients,
+        seed: 0x55d0_2019,
+        mode: ExecMode::Threaded,
+    };
+    // 8192 elements = 32 NVRAM rows per client: wide enough to spread
+    // over the shared bank pool (see the fig5b_contention bench).
+    let p = run_parallel(
+        move |_| Ssp::new(shard.clone(), SspConfig::default()),
+        |_| Sps::new(8192, KeyDist::uniform(8192)),
+        &run_cfg,
+    );
+    p.result.elapsed_cycles / TXNS_PER_CLIENT
+}
+
+#[test]
+fn shared_channels_grow_monotonically_while_partitioned_stays_flat() {
+    let shared: Vec<u64> = [1, 2, 4, 8]
+        .iter()
+        .map(|&n| per_txn_cycles(InterconnectConfig::shared(), n))
+        .collect();
+    let partitioned: Vec<u64> = [1, 2, 4, 8]
+        .iter()
+        .map(|&n| per_txn_cycles(InterconnectConfig::partitioned(8, 4), n))
+        .collect();
+
+    // Clients sharing one channel group: per-txn cost never decreases and
+    // eight clients pay strictly more than one.
+    for w in shared.windows(2) {
+        assert!(w[1] >= w[0], "shared curve dipped: {shared:?}");
+    }
+    assert!(
+        shared[3] > shared[0],
+        "eight clients must contend measurably: {shared:?}"
+    );
+
+    // Private channel groups: adding clients leaves per-client cost flat
+    // (the critical path can only drift by the max over more identical
+    // clients — allow a fraction of a percent).
+    for &c in &partitioned {
+        let base = partitioned[0];
+        assert!(
+            c >= base && c - base <= base / 100 + 2,
+            "partitioned curve is not flat: {partitioned:?}"
+        );
+    }
+
+    // And contention is the only difference: at one client the two
+    // configurations must agree exactly (no cross traffic exists).
+    assert_eq!(shared[0], partitioned[0]);
+}
+
+/// The interconnect shifts clocks and counters, never bytes: every
+/// shard's committed persistent state is identical to the same seed's
+/// interconnect-disabled run.
+#[test]
+fn contention_never_changes_committed_state() {
+    let mut contended = sps_run(
+        &|cfg| Ssp::new(cfg, SspConfig::default()),
+        ExecMode::Threaded,
+    );
+    let plain_shard = MachineConfig::default().shard_slice(THREADS);
+    let mut plain = run_parallel(
+        move |_| Ssp::new(plain_shard.clone(), SspConfig::default()),
+        |_| Sps::new(2048, KeyDist::uniform(2048)),
+        &cfg(ExecMode::Threaded),
+    );
+    assert!(contended.result.elapsed_cycles >= plain.result.elapsed_cycles);
+    assert_eq!(
+        committed_fingerprints(&mut contended),
+        committed_fingerprints(&mut plain),
+        "contention must be time-only"
+    );
+}

@@ -1,0 +1,111 @@
+//! Property: any interconnect configuration with `enabled == false` is
+//! *completely* inert — whatever values the other knobs hold, every
+//! engine produces cycle-for-cycle identical [`MachineStats`], elapsed
+//! cycles and committed persistent state as a PR-2 run (the default
+//! `InterconnectConfig::disabled()` machine), for 1, 2 and 4 worker
+//! threads.
+//!
+//! This pins the PR's compatibility contract: the subsystem must be
+//! zero-cost and zero-effect until the master switch is thrown, so every
+//! existing figure bench and snapshot stays valid.
+
+use proptest::prelude::*;
+use ssp::baselines::{RedoLog, UndoLog};
+use ssp::core::engine::Ssp;
+use ssp::simulator::config::{InterconnectConfig, MachineConfig};
+use ssp::txn::engine::TxnEngine;
+use ssp::workloads::runner::{run_parallel, ExecMode, ParallelRun, RunConfig};
+use ssp::workloads::{KeyDist, Sps};
+use ssp::SspConfig;
+
+/// Runs each of the three engines over a small sharded SPS workload and
+/// returns the observable measurements per engine.
+fn measure(interconnect: InterconnectConfig, threads: usize) -> Vec<(String, u64, u64, Vec<u64>)> {
+    let mut shard = MachineConfig::default().shard_slice(threads);
+    shard.interconnect = interconnect;
+    let run_cfg = RunConfig {
+        txns: 60,
+        warmup: 10,
+        threads,
+        seed: 0xD15A_B1ED,
+        mode: ExecMode::Threaded,
+    };
+
+    let mks: Vec<Box<dyn Fn(MachineConfig) -> Box<dyn TxnEngine> + Sync>> = vec![
+        Box::new(|cfg| Box::new(Ssp::new(cfg, SspConfig::default()))),
+        Box::new(|cfg| Box::new(UndoLog::new(cfg))),
+        Box::new(|cfg| Box::new(RedoLog::new(cfg))),
+    ];
+    mks.iter()
+        .map(|mk| {
+            let shard = shard.clone();
+            let mut p: ParallelRun<Box<dyn TxnEngine>> = run_parallel(
+                move |_| mk(shard.clone()),
+                |_| Sps::new(512, KeyDist::uniform(512)),
+                &run_cfg,
+            );
+            let prints: Vec<u64> = p
+                .shards
+                .iter_mut()
+                .map(|s| {
+                    s.engine.crash_and_recover();
+                    s.engine.machine().nvram_fingerprint()
+                })
+                .collect();
+            (
+                format!("{:?}", p.result.stats),
+                p.result.elapsed_cycles,
+                p.result.stats.nvram_writes_total(),
+                prints,
+            )
+        })
+        .collect()
+}
+
+/// The PR-2 reference per thread count — independent of the fuzzed knobs,
+/// so computed once for the whole property rather than once per case.
+fn baseline(threads: usize) -> &'static Vec<(String, u64, u64, Vec<u64>)> {
+    static BASELINES: std::sync::OnceLock<Vec<Vec<(String, u64, u64, Vec<u64>)>>> =
+        std::sync::OnceLock::new();
+    let all = BASELINES.get_or_init(|| {
+        [1usize, 2, 4]
+            .iter()
+            .map(|&t| measure(InterconnectConfig::disabled(), t))
+            .collect()
+    });
+    &all[match threads {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => unreachable!("baseline not precomputed for {threads} threads"),
+    }]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn any_disabled_config_is_bit_identical_to_pr2(
+        epoch_cycles in 1u64..200_000,
+        dram_banks in 1usize..128,
+        nvram_banks in 1usize..64,
+        partitioned in any::<bool>(),
+    ) {
+        let fuzzed = InterconnectConfig {
+            enabled: false,
+            epoch_cycles,
+            dram_banks,
+            nvram_banks,
+            partitioned,
+        };
+        for threads in [1usize, 2, 4] {
+            let fuzzed_run = measure(fuzzed, threads);
+            prop_assert_eq!(
+                &fuzzed_run,
+                baseline(threads),
+                "disabled knobs leaked into the simulation (threads {})",
+                threads
+            );
+        }
+    }
+}
