@@ -38,7 +38,7 @@ pub struct LogEntry {
 pub const ENTRY_BYTES: u64 = 88;
 
 /// A per-core log area with coalesced write accounting.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CoreLog {
     layout: NvLayout,
     core: usize,
@@ -178,7 +178,7 @@ impl CoreLog {
 
 /// A per-core persisted "last committed transaction" register — the commit
 /// point of the logging designs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CommitRegister {
     layout: NvLayout,
     core: usize,

@@ -23,7 +23,7 @@ use ssp_txn::vm::{NvLayout, VmManager};
 
 use crate::common::{CommitRegister, CoreLog, LogEntry};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u64,
     /// Write-set lines (physical line base → virtual line base).
@@ -54,7 +54,7 @@ struct OpenTxn {
 /// e.load(core, addr, &mut buf);
 /// assert_eq!(u64::from_le_bytes(buf), 7);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RedoLog {
     machine: Machine,
     vm: VmManager,
@@ -319,7 +319,7 @@ impl TxnEngine for RedoLog {
         let mut txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
-        for (&pline, _) in &txn.lines {
+        for &pline in txn.lines.keys() {
             // Speculative lines never reached home: dropping them restores
             // the committed state.
             self.machine.discard_line(PhysAddr::new(pline));

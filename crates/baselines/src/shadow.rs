@@ -20,7 +20,7 @@ use ssp_txn::vm::{NvLayout, VmManager, SHADOW_PAGES};
 
 use crate::common::{CommitRegister, CoreLog, LogEntry};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u64,
     /// vpn → shadow frame for pages CoW'd by this transaction.
@@ -51,7 +51,7 @@ struct OpenTxn {
 /// e.load(core, addr, &mut buf);
 /// assert_eq!(u64::from_le_bytes(buf), 7);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShadowPaging {
     machine: Machine,
     vm: VmManager,

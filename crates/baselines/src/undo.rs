@@ -23,7 +23,7 @@ use ssp_txn::vm::{NvLayout, VmManager};
 
 use crate::common::{blocking_persist_cycles, CommitRegister, CoreLog, LogEntry};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u64,
     /// Line base physical addresses already logged this transaction.
@@ -52,7 +52,7 @@ struct OpenTxn {
 /// e.load(core, addr, &mut buf);
 /// assert_eq!(u64::from_le_bytes(buf), 7);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UndoLog {
     machine: Machine,
     vm: VmManager,

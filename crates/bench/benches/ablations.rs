@@ -1,182 +1,12 @@
-//! Ablations of the design choices DESIGN.md calls out:
-//!
-//! * **Consolidation on/off** — the space-for-writes trade-off of
-//!   Section 3.4: disabling it removes consolidation writes but leaves
-//!   every touched page holding two frames forever.
-//! * **Write-set buffer size** — how small the hardware budget can get
-//!   before the software fall-back path engages (Section 3.5).
-//! * **Conventional shadow paging** — the page-granularity CoW the paper
-//!   dismisses analytically ("up to 64x more cache lines").
-//! * **Checkpoint threshold** — journal space vs checkpoint write traffic.
-//! * **Sub-page granularity** (Section 4.3) — 64 B tracking (64-bit
-//!   bitmaps) vs Optane's 256 B persist granularity (16-bit bitmaps):
-//!   smaller TLB cost, more write amplification.
+//! Thin wrapper: this target lives in `ssp_bench::targets::ablations` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench ablations`.
 
-use ssp_bench::{
-    env_setup, fmt_ratio, make_workload, print_matrix, run_cell_cached, EngineKind, SspConfig,
-    WorkloadCache, WorkloadKind,
-};
-use ssp_core::engine::Ssp;
-use ssp_simulator::config::MachineConfig;
-use ssp_simulator::stats::WriteClass;
-use ssp_workloads::runner::run;
-
-fn consolidation_ablation() {
-    let cfg = MachineConfig::default().with_cores(1);
-    let (run_cfg, scale) = env_setup(1);
-    let mut rows = Vec::new();
-    for wkind in [
-        WorkloadKind::BTreeRand,
-        WorkloadKind::Sps,
-        WorkloadKind::HashZipf,
-    ] {
-        let mut cells = Vec::new();
-        for enabled in [true, false] {
-            let mut ssp_cfg = SspConfig::default();
-            ssp_cfg.consolidation_enabled = enabled;
-            let mut workload = make_workload(wkind, scale);
-            let mut engine = Ssp::new(cfg.clone(), ssp_cfg);
-            let r = run(&mut engine, workload.as_mut(), &run_cfg);
-            cells.push(format!(
-                "{}w/{}dbl",
-                r.nvram_writes(),
-                engine.pages_holding_two_frames()
-            ));
-        }
-        rows.push((wkind.name().to_string(), cells));
-    }
-    print_matrix(
-        "Ablation: eager consolidation vs none (NVRAM writes / pages holding 2 frames)",
-        &["eager", "disabled"],
-        &rows,
-    );
-}
-
-fn write_set_ablation() {
-    let cfg = MachineConfig::default().with_cores(1);
-    let (run_cfg, scale) = env_setup(1);
-    let mut rows = Vec::new();
-    for capacity in [64usize, 8, 4, 3, 2] {
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.write_set_capacity = capacity;
-        let mut workload = make_workload(WorkloadKind::RbTreeRand, scale);
-        let mut engine = Ssp::new(cfg.clone(), ssp_cfg);
-        let r = run(&mut engine, workload.as_mut(), &run_cfg);
-        rows.push((
-            format!("{capacity} pages"),
-            vec![
-                format!("{}", r.txn_stats.fallbacks),
-                format!("{:.0}k", r.tps / 1000.0),
-            ],
-        ));
-    }
-    print_matrix(
-        "Ablation: write-set buffer capacity (RBTree-Rand)",
-        &["fallbacks", "TPS"],
-        &rows,
-    );
-    println!("paper: a 64-entry buffer suffices for every evaluated workload");
-}
-
-fn shadow_paging_ablation() {
-    let cache = &mut WorkloadCache::new();
-    let cfg = MachineConfig::default().with_cores(1);
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(1);
-    let mut rows = Vec::new();
-    for wkind in [WorkloadKind::Sps, WorkloadKind::HashRand] {
-        let ssp = run_cell_cached(
-            cache,
-            EngineKind::Ssp,
-            wkind,
-            &cfg,
-            &ssp_cfg,
-            scale,
-            &run_cfg,
-        );
-        let shadow = run_cell_cached(
-            cache,
-            EngineKind::Shadow,
-            wkind,
-            &cfg,
-            &ssp_cfg,
-            scale,
-            &run_cfg,
-        );
-        rows.push((
-            wkind.name().to_string(),
-            vec![
-                fmt_ratio(shadow.nvram_writes() as f64 / ssp.nvram_writes() as f64),
-                fmt_ratio(ssp.tps / shadow.tps),
-                format!("{}", shadow.writes_of(WriteClass::PageCopy)),
-            ],
-        ));
-    }
-    print_matrix(
-        "Ablation: conventional shadow paging vs SSP",
-        &["writes x", "SSP speedup", "page-copy w"],
-        &rows,
-    );
-    println!("paper: conventional shadow paging writes up to 64x more lines");
-}
-
-fn checkpoint_ablation() {
-    let cfg = MachineConfig::default().with_cores(1);
-    let (run_cfg, scale) = env_setup(1);
-    let mut rows = Vec::new();
-    for threshold in [16 * 1024u64, 64 * 1024, 256 * 1024] {
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.checkpoint_threshold_bytes = threshold;
-        let mut workload = make_workload(WorkloadKind::HashRand, scale);
-        let mut engine = Ssp::new(cfg.clone(), ssp_cfg);
-        let r = run(&mut engine, workload.as_mut(), &run_cfg);
-        rows.push((
-            format!("{} KiB", threshold / 1024),
-            vec![
-                format!("{}", engine.checkpoints()),
-                format!("{}", r.writes_of(WriteClass::Checkpoint)),
-            ],
-        ));
-    }
-    print_matrix(
-        "Ablation: checkpoint threshold (Hash-Rand)",
-        &["checkpoints", "ckpt writes"],
-        &rows,
-    );
-}
-
-fn subpage_ablation() {
-    let cfg = MachineConfig::default().with_cores(1);
-    let (run_cfg, scale) = env_setup(1);
-    let mut rows = Vec::new();
-    for (lps, label) in [(1usize, "64 B"), (4, "256 B"), (8, "512 B")] {
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.lines_per_subpage = lps;
-        let mut workload = make_workload(WorkloadKind::HashRand, scale);
-        let mut engine = Ssp::new(cfg.clone(), ssp_cfg);
-        let r = run(&mut engine, workload.as_mut(), &run_cfg);
-        rows.push((
-            label.to_string(),
-            vec![
-                format!("{} bits", 64 / lps),
-                format!("{}", r.writes_of(WriteClass::Data)),
-                format!("{:.0}k", r.tps / 1000.0),
-            ],
-        ));
-    }
-    print_matrix(
-        "Ablation: sub-page granularity (Hash-Rand) — Section 4.3 trade-off",
-        &["bitmap", "data writes", "TPS"],
-        &rows,
-    );
-    println!("paper: 256 B sub-pages cut the TLB bitmap cost 4x; the price is");
-    println!("flushing whole groups (write amplification for sparse updates)");
-}
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    consolidation_ablation();
-    write_set_ablation();
-    shadow_paging_ablation();
-    checkpoint_ablation();
-    subpage_ablation();
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::ablations::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

@@ -1,58 +1,12 @@
-//! Figure 5 — transactional throughput of the seven microbenchmarks,
-//! normalised to UNDO-LOG, for one thread (5a) and four threads (5b).
-//!
-//! Since the sharded driver landed, the 5b cells execute on four real
-//! worker threads, each owning a disjoint machine shard
-//! (`MachineConfig::shard_slice`: 1/4 of the L3 and of the DRAM/NVRAM
-//! banks). Cross-core L3/bank contention is therefore modelled by the
-//! capacity/bank slicing, not by simulated interleaving — the engine
-//! *ordering* still matches the paper's 5b, but the absolute contention
-//! penalty is milder than the paper's shared contended machine.
+//! Thin wrapper: this target lives in `ssp_bench::targets::fig5` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench fig5_throughput`.
 
-use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
-    WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
-
-fn figure(cache: &mut WorkloadCache, threads: usize, label: &str) {
-    let cfg = MachineConfig::default().with_cores(threads.max(1));
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(threads);
-
-    let mut rows = Vec::new();
-    for wkind in WorkloadKind::MICRO {
-        let mut cells = Vec::new();
-        let mut tps = Vec::new();
-        for ekind in EngineKind::PAPER {
-            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-            tps.push(r.tps);
-        }
-        let base = tps[0]; // UNDO-LOG
-        for t in &tps {
-            cells.push(fmt_ratio(t / base));
-        }
-        cells.push(format!("{:.0}", tps[2] / 1000.0)); // absolute SSP kTPS
-        rows.push((wkind.name().to_string(), cells));
-    }
-    print_matrix(label, &["UNDO-LOG", "REDO-LOG", "SSP", "SSP kTPS"], &rows);
-}
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cache = &mut WorkloadCache::new();
-    figure(
-        cache,
-        1,
-        "Figure 5a: normalised TPS, one thread (UNDO-LOG = 1.0)",
-    );
-    figure(
-        cache,
-        4,
-        "Figure 5b: normalised TPS, four threads (UNDO-LOG = 1.0)",
-    );
-    println!("\npaper shape: SSP > REDO-LOG > UNDO-LOG on every workload;");
-    println!("single-thread means: SSP ~1.9x UNDO, ~1.3x REDO; 4 threads: ~2.4x / ~1.4x");
-    println!("note: 5b runs on four disjoint machine shards (real threads);");
-    println!("contention appears as 1/4 L3 + 1/4 memory banks per core, so the");
-    println!("shape, not the absolute contention penalty, is the comparison");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::fig5::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

@@ -1,162 +1,12 @@
-//! Figure 5b (contention) — cost per transaction as 1 → 8 clients share
-//! one memory-channel group, against the partitioned reference.
-//!
-//! Every client is a machine shard of constant size (an eighth of the
-//! Table 2 machine: one core, 1.5 MiB of L3, 8 DRAM + 4 NVRAM banks) that
-//! runs a constant per-client transaction count over its own working set;
-//! only the *interconnect* differs between the two sweeps:
-//!
-//! * **shared** — all clients' memory traffic is merged through one
-//!   channel group with the full Table 2 bank counts (64 DRAM /
-//!   32 NVRAM). Adding clients adds queueing: cycles per transaction must
-//!   rise monotonically.
-//! * **partitioned** — each client owns a private group sized like its
-//!   bank slice (8 DRAM / 4 NVRAM). A client's traffic never meets
-//!   another's, so the curve stays flat as clients are added — this is
-//!   the hardware-scales-with-clients reference the shared curve is read
-//!   against.
-//!
-//! The JSON series (for the CI perf-trajectory artifact) is written to
-//! `$SSP_BENCH_JSON` or `BENCH_fig5b_contention.json`.
+//! Thin wrapper: this target lives in `ssp_bench::targets::fig5b` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench fig5b_contention`.
 
-use ssp_bench::{
-    make_engine, make_workload, print_matrix, EngineKind, Scale, SspConfig, WorkloadKind,
-};
-use ssp_simulator::config::{InterconnectConfig, MachineConfig};
-use ssp_workloads::runner::{run_parallel, ExecMode, ParallelRun, RunConfig};
-
-const CLIENTS: [usize; 4] = [1, 2, 4, 8];
-
-/// One sweep point's measurements.
-struct Point {
-    clients: usize,
-    cycles_per_txn: u64,
-    bankq_delay: u64,
-    bankq_conflicts: u64,
-    row_hit_rate: f64,
-}
-
-fn sweep(interconnect: InterconnectConfig, txns_per_client: u64, scale: Scale) -> Vec<Point> {
-    // A constant per-client machine slice (1/8 of Table 2), so the only
-    // thing that changes along the sweep is how many clients exist.
-    let mut client_cfg = MachineConfig::default().shard_slice(8);
-    client_cfg.interconnect = interconnect;
-    let ssp_cfg = SspConfig::default();
-
-    CLIENTS
-        .iter()
-        .map(|&clients| {
-            let run_cfg = RunConfig {
-                txns: txns_per_client * clients as u64,
-                warmup: 50 * clients as u64,
-                threads: clients,
-                seed: 0x55d0_2019,
-                mode: ExecMode::Threaded,
-            };
-            let cfg = client_cfg.clone();
-            let ssp_cfg2 = ssp_cfg.clone();
-            let p: ParallelRun<_> = run_parallel(
-                move |_w| make_engine(EngineKind::Ssp, &cfg, &ssp_cfg2),
-                move |_w| make_workload(WorkloadKind::Sps, scale),
-                &run_cfg,
-            );
-            let stats = &p.result.stats;
-            let rows = stats.bankq_row_hits + stats.bankq_row_misses;
-            Point {
-                clients,
-                // Wall-clock is the slowest client; each runs
-                // `txns_per_client`, so this is cycles per transaction on
-                // the contended critical path.
-                cycles_per_txn: p.result.elapsed_cycles / txns_per_client,
-                bankq_delay: stats.bankq_delay_cycles,
-                bankq_conflicts: stats.bankq_conflicts,
-                row_hit_rate: if rows == 0 {
-                    0.0
-                } else {
-                    stats.bankq_row_hits as f64 / rows as f64
-                },
-            }
-        })
-        .collect()
-}
-
-fn json_series(mode: &str, points: &[Point]) -> String {
-    points
-        .iter()
-        .map(|p| {
-            format!(
-                "    {{\"mode\": \"{mode}\", \"clients\": {}, \"cycles_per_txn\": {}, \
-                 \"bankq_delay_cycles\": {}, \"bankq_conflicts\": {}, \"row_hit_rate\": {:.4}}}",
-                p.clients, p.cycles_per_txn, p.bankq_delay, p.bankq_conflicts, p.row_hit_rate
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n")
-}
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let quick = std::env::var("SSP_BENCH_QUICK").is_ok();
-    // Per-client working set: 8192 elements = 64 KiB = 32 NVRAM rows, so
-    // one client's traffic spreads across the whole 32-bank shared pool
-    // and contention grows smoothly with every added client (a tiny
-    // array parks each client on a handful of banks and the 2-client
-    // point reads as noise instead).
-    let scale = Scale {
-        sps_elems: 8_192,
-        ..Scale::SMOKE
-    };
-    let txns_per_client = if quick { 150 } else { 600 };
-
-    let shared = sweep(InterconnectConfig::shared(), txns_per_client, scale);
-    // The partitioned reference gets the same per-client bank budget the
-    // 8-way shared slice grants (64/8 DRAM, 32/8 NVRAM), private.
-    let partitioned = sweep(
-        InterconnectConfig::partitioned(64 / 8, 32 / 8),
-        txns_per_client,
-        scale,
-    );
-
-    let fmt_row = |points: &[Point], f: &dyn Fn(&Point) -> String| -> Vec<String> {
-        points.iter().map(|p| f(p)).collect()
-    };
-    print_matrix(
-        "Figure 5b (contention): SSP/SPS cycles per txn vs clients",
-        &["1", "2", "4", "8"],
-        &[
-            (
-                "shared cyc/txn".to_string(),
-                fmt_row(&shared, &|p| p.cycles_per_txn.to_string()),
-            ),
-            (
-                "shared q-delay".to_string(),
-                fmt_row(&shared, &|p| p.bankq_delay.to_string()),
-            ),
-            (
-                "part. cyc/txn".to_string(),
-                fmt_row(&partitioned, &|p| p.cycles_per_txn.to_string()),
-            ),
-            (
-                "part. q-delay".to_string(),
-                fmt_row(&partitioned, &|p| p.bankq_delay.to_string()),
-            ),
-        ],
-    );
-    println!("\npaper shape: clients contending for one channel group pay a");
-    println!("monotonically growing per-txn cost (queueing at the shared banks);");
-    println!("per-client (partitioned) channel groups stay flat — the gap is the");
-    println!("contention penalty Fig 5b's multi-client bars fold into throughput");
-
-    let path = std::env::var("SSP_BENCH_JSON")
-        .unwrap_or_else(|_| "BENCH_fig5b_contention.json".to_string());
-    let json = format!(
-        "{{\n  \"bench\": \"fig5b_contention\",\n  \"engine\": \"SSP\",\n  \
-         \"workload\": \"SPS\",\n  \"quick\": {quick},\n  \
-         \"txns_per_client\": {txns_per_client},\n  \"series\": [\n{},\n{}\n  ]\n}}\n",
-        json_series("shared", &shared),
-        json_series("partitioned", &partitioned)
-    );
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::fig5b::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

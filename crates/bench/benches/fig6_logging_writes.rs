@@ -1,35 +1,12 @@
-//! Figure 6 — logging writes (the recovery-enabling NVRAM writes: log
-//! entries for the logging designs, metadata-journal records for SSP),
-//! normalised to UNDO-LOG. Lower is better.
+//! Thin wrapper: this target lives in `ssp_bench::targets::fig6` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench fig6_logging_writes`.
 
-use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
-    WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cache = &mut WorkloadCache::new();
-    let cfg = MachineConfig::default().with_cores(1);
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(1);
-
-    let mut rows = Vec::new();
-    for wkind in WorkloadKind::MICRO {
-        let mut logging = Vec::new();
-        for ekind in EngineKind::PAPER {
-            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-            logging.push(r.logging_writes() as f64);
-        }
-        let base = logging[0].max(1.0);
-        let cells = logging.iter().map(|l| fmt_ratio(l / base)).collect();
-        rows.push((wkind.name().to_string(), cells));
-    }
-    print_matrix(
-        "Figure 6: logging writes normalised to UNDO-LOG (lower is better)",
-        &["UNDO-LOG", "REDO-LOG", "SSP"],
-        &rows,
-    );
-    println!("\npaper shape: SSP cuts logging writes ~7.6x vs UNDO and ~4.7x vs REDO;");
-    println!("BTree-Rand nearly eliminates them (spatial locality within pages)");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::fig6::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

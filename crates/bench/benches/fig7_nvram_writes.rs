@@ -1,64 +1,12 @@
-//! Figure 7 — total NVRAM writes.
-//!
-//! 7a: total NVRAM line writes normalised to UNDO-LOG (lower is better).
-//! 7b: breakdown of SSP's writes into data / metadata journaling /
-//!     consolidation / checkpointing percentages.
+//! Thin wrapper: this target lives in `ssp_bench::targets::fig7` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench fig7_nvram_writes`.
 
-use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
-    WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
-use ssp_simulator::stats::WriteClass;
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cache = &mut WorkloadCache::new();
-    let cfg = MachineConfig::default().with_cores(1);
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(1);
-
-    let mut rows7a = Vec::new();
-    let mut rows7b = Vec::new();
-    for wkind in WorkloadKind::MICRO {
-        let mut totals = Vec::new();
-        let mut ssp_result = None;
-        for ekind in EngineKind::PAPER {
-            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-            totals.push(r.nvram_writes() as f64);
-            if ekind == EngineKind::Ssp {
-                ssp_result = Some(r);
-            }
-        }
-        let base = totals[0].max(1.0);
-        rows7a.push((
-            wkind.name().to_string(),
-            totals.iter().map(|t| fmt_ratio(t / base)).collect(),
-        ));
-
-        let r = ssp_result.expect("SSP ran");
-        let total = r.nvram_writes().max(1) as f64;
-        let pct = |class: WriteClass| format!("{:.0}%", 100.0 * r.writes_of(class) as f64 / total);
-        rows7b.push((
-            wkind.name().to_string(),
-            vec![
-                pct(WriteClass::Data),
-                pct(WriteClass::MetaJournal),
-                pct(WriteClass::Consolidation),
-                pct(WriteClass::Checkpoint),
-            ],
-        ));
-    }
-    print_matrix(
-        "Figure 7a: NVRAM writes normalised to UNDO-LOG (lower is better)",
-        &["UNDO-LOG", "REDO-LOG", "SSP"],
-        &rows7a,
-    );
-    print_matrix(
-        "Figure 7b: breakdown of SSP NVRAM writes",
-        &["Data", "Journaling", "Consolid.", "Checkpoint"],
-        &rows7b,
-    );
-    println!("\npaper shape: SSP saves ~45% vs UNDO and ~28% vs REDO on average;");
-    println!("zipfian saves more (56%/42%) than random (43%/23%); consolidation");
-    println!("dominates only under SPS (poor locality -> premature consolidation)");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::fig7::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

@@ -1,44 +1,12 @@
-//! Figure 8 — sensitivity to NVRAM latency: absolute TPS for RBTree-Rand
-//! (8a) and BTree-Rand (8b) with the NVRAM latency set to x1..x9 the DRAM
-//! latency.
+//! Thin wrapper: this target lives in `ssp_bench::targets::fig8` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench fig8_nvram_latency`.
 
-use ssp_bench::{
-    env_setup, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache, WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
-
-fn figure(cache: &mut WorkloadCache, wkind: WorkloadKind, label: &str) {
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(1);
-
-    let mut rows = Vec::new();
-    for mult in [1.0, 3.0, 5.0, 7.0, 9.0] {
-        let cfg = MachineConfig::default()
-            .with_cores(1)
-            .with_nvram_latency_multiplier(mult);
-        let mut cells = Vec::new();
-        for ekind in EngineKind::PAPER {
-            let r = run_cell_cached(cache, ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-            cells.push(format!("{:.0}", r.tps / 1000.0));
-        }
-        rows.push((format!("x{mult:.0}"), cells));
-    }
-    print_matrix(label, &["UNDO kTPS", "REDO kTPS", "SSP kTPS"], &rows);
-}
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cache = &mut WorkloadCache::new();
-    figure(
-        cache,
-        WorkloadKind::RbTreeRand,
-        "Figure 8a: RBTree TPS vs NVRAM latency (multiples of DRAM latency)",
-    );
-    figure(
-        cache,
-        WorkloadKind::BTreeRand,
-        "Figure 8b: BTree TPS vs NVRAM latency (multiples of DRAM latency)",
-    );
-    println!("\npaper shape: all designs degrade with latency but the SSP/REDO gap");
-    println!("widens (1.1x -> 1.8x on BTree); at x1 REDO-LOG can edge out SSP");
-    println!("(~8% on RBTree) because cheap persists hide redo's data write-back");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::fig8::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

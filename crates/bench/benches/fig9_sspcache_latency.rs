@@ -1,60 +1,12 @@
-//! Figure 9 — sensitivity to the SSP-cache access latency: SSP's speedup
-//! over REDO-LOG with the metadata access latency fixed at 20..180 cycles
-//! (the paper sweeps from L3-like to DRAM-like latencies).
+//! Thin wrapper: this target lives in `ssp_bench::targets::fig9` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench fig9_sspcache_latency`.
 
-use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache,
-    WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cache = &mut WorkloadCache::new();
-    let cfg = MachineConfig::default().with_cores(1);
-    let (run_cfg, scale) = env_setup(1);
-
-    // REDO-LOG baseline TPS per workload (independent of SSP-cache latency).
-    let base_ssp_cfg = SspConfig::default();
-    let mut redo_tps = Vec::new();
-    for wkind in WorkloadKind::MICRO {
-        let r = run_cell_cached(
-            cache,
-            EngineKind::Redo,
-            wkind,
-            &cfg,
-            &base_ssp_cfg,
-            scale,
-            &run_cfg,
-        );
-        redo_tps.push(r.tps);
-    }
-
-    let latencies = [20u64, 60, 100, 140, 180];
-    let mut rows = Vec::new();
-    for (wi, wkind) in WorkloadKind::MICRO.iter().enumerate() {
-        let mut cells = Vec::new();
-        for &lat in &latencies {
-            let mut ssp_cfg = SspConfig::default();
-            ssp_cfg.meta_latency_override = Some(lat);
-            let r = run_cell_cached(
-                cache,
-                EngineKind::Ssp,
-                *wkind,
-                &cfg,
-                &ssp_cfg,
-                scale,
-                &run_cfg,
-            );
-            cells.push(fmt_ratio(r.tps / redo_tps[wi]));
-        }
-        rows.push((wkind.name().to_string(), cells));
-    }
-    print_matrix(
-        "Figure 9: SSP speedup over REDO-LOG vs SSP-cache latency (cycles)",
-        &["20cy", "60cy", "100cy", "140cy", "180cy"],
-        &rows,
-    );
-    println!("\npaper shape: moderate linear decrease with latency for most");
-    println!("workloads; SPS and Hash-Rand are most sensitive (frequent TLB");
-    println!("misses re-fetch SSP metadata); zipfian less sensitive than random");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::fig9::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

@@ -1,91 +1,12 @@
-//! Recovery-time benchmark — the paper's motivation for checkpointing
-//! (Section 4.1.2): "to limit the growth of the journaling space and also
-//! to bound the recovery time".
-//!
-//! Simulated recovery work and host-side latency are reported
-//! *separately*: the simulated columns (journal state, records replayed
-//! by recovery) come from the engine's own accounting, while the
-//! host column is wall-clock time of a *pre-warmed* recovery — the first
-//! crash+recover cycle after a run pays one-time host allocation costs
-//! (page-frame maps, journal buffers) and is reported on its own as
-//! "cold" so allocator noise never pollutes the steady-state number.
+//! Thin wrapper: this target lives in `ssp_bench::targets::recovery` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench recovery_time`.
 
-use std::time::Instant;
-
-use ssp_bench::{env_setup, make_workload, print_matrix, SspConfig, WorkloadKind};
-use ssp_core::engine::Ssp;
-use ssp_simulator::config::MachineConfig;
-use ssp_txn::engine::TxnEngine;
-use ssp_workloads::runner::run;
-
-/// Warm recovery repetitions; the minimum is reported (host-noise floor).
-const WARM_REPS: usize = 5;
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cfg = MachineConfig::default().with_cores(1);
-    let (run_cfg, scale) = env_setup(1);
-
-    let mut rows = Vec::new();
-    for threshold in [8 * 1024u64, 64 * 1024, 512 * 1024, 4 * 1024 * 1024] {
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.checkpoint_threshold_bytes = threshold;
-        let mut workload = make_workload(WorkloadKind::HashRand, scale);
-        let mut engine = Ssp::new(cfg.clone(), ssp_cfg);
-        let _ = run(&mut engine, workload.as_mut(), &run_cfg);
-        let live_bytes = engine.journal_live_bytes();
-        // Snapshot now: every crash+recover cycle below ends in a
-        // checkpoint of its own and would inflate the run-phase count.
-        let run_checkpoints = engine.checkpoints();
-
-        // The real post-run recovery: replays the live journal. Its host
-        // time is reported as "cold" (it also pays the one-time
-        // allocation cost); the *simulated* replay work is the records
-        // count, which is host-independent.
-        engine.crash();
-        let t0 = Instant::now();
-        engine.recover();
-        let cold_us = t0.elapsed().as_micros();
-        let replayed = engine.last_recovery_replayed();
-
-        // Warm host latency: allocations are pre-warmed by the cold
-        // recovery above, and recovery checkpoints the journal, so these
-        // repetitions replay nothing — the minimum over them is the
-        // replay-free, allocation-free recovery floor (persistent slot
-        // scan + page-table rebuild).
-        let warm_us = (0..WARM_REPS)
-            .map(|_| {
-                engine.crash();
-                let t0 = Instant::now();
-                engine.recover();
-                t0.elapsed().as_micros()
-            })
-            .min()
-            .unwrap();
-
-        rows.push((
-            format!("{} KiB", threshold / 1024),
-            vec![
-                format!("{run_checkpoints}"),
-                format!("{live_bytes} B"),
-                format!("{replayed}"),
-                format!("{warm_us} us"),
-                format!("{cold_us} us"),
-            ],
-        ));
-    }
-    print_matrix(
-        "Recovery vs checkpoint threshold (Hash-Rand)",
-        &[
-            "checkpoints",
-            "live journal",
-            "replayed",
-            "host (warm)",
-            "host (cold)",
-        ],
-        &rows,
-    );
-    println!("\nsmaller thresholds keep the journal short: less replay work at");
-    println!("recovery, at the cost of more frequent checkpoint writes.");
-    println!("\"host (cold)\" includes one-time allocation cost and is kept out");
-    println!("of the warm steady-state column by construction");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::recovery::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

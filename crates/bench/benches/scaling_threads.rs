@@ -1,84 +1,12 @@
-//! Thread scaling — throughput of the three engines as the worker count
-//! grows 1 → 2 → 4 → 8, on one tree and one pointer-chasing workload.
-//!
-//! Since the sharded `std::thread` driver landed, every multi-thread cell
-//! runs on *real* host threads (one machine shard per worker). To report
-//! **parallelism and nothing else**, each N-thread cell is normalised
-//! against a baseline that runs the *same* total transaction count on
-//! the *same* per-shard machine slice and workload scale, but with a
-//! single worker — so per-transaction cost is identical and the ratio
-//! isolates the speedup from running N shards concurrently:
-//!
-//! * **sim** — simulated TPS ratio (wall-clock = max cycles over the
-//!   shards). Deterministic per seed; disjoint shards make this ~N by
-//!   construction, so deviations flag scheduler/merge regressions.
-//! * **host** — real wall-clock speedup of the measured phase. This is
-//!   the curve the ROADMAP's scaling work is judged by; it saturates at
-//!   the host's core count (printed below), so on a single-core
-//!   container every value is ~1.
+//! Thin wrapper: this target lives in `ssp_bench::targets::scaling` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench scaling_threads`.
 
-use ssp_bench::{
-    env_setup, fmt_ratio, print_matrix, run_cell_parallel, EngineKind, SspConfig, WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
-use ssp_workloads::runner::RunConfig;
-
-fn sweep(wkind: WorkloadKind) {
-    let ssp_cfg = SspConfig::default();
-    let mut rows = Vec::new();
-    for ekind in EngineKind::PAPER {
-        let mut sim_cells = Vec::new();
-        let mut host_cells = Vec::new();
-        for threads in [1usize, 2, 4, 8] {
-            let cfg = MachineConfig::default().with_cores(threads);
-            let (run_cfg, scale) = env_setup(threads);
-            if threads == 1 {
-                // Cell and baseline would be the identical configuration,
-                // so the ratio is 1 by construction — skip both runs.
-                sim_cells.push(fmt_ratio(1.0));
-                host_cells.push(fmt_ratio(1.0));
-                continue;
-            }
-            let p = run_cell_parallel(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-
-            // Parallelism-only baseline: one worker, but the *same*
-            // machine slice and workload scale as each of the N shards
-            // above, running the same total transaction count serially.
-            let base_cfg = RunConfig {
-                threads: 1,
-                ..run_cfg.clone()
-            };
-            let b = run_cell_parallel(
-                ekind,
-                wkind,
-                &cfg.shard_slice(threads),
-                &ssp_cfg,
-                scale.per_shard(threads),
-                &base_cfg,
-            );
-            sim_cells.push(fmt_ratio(p.result.tps / b.result.tps));
-            host_cells.push(fmt_ratio(p.host_tps() / b.host_tps()));
-        }
-        rows.push((format!("{} sim", ekind.name()), sim_cells));
-        rows.push((format!("{} host", ekind.name()), host_cells));
-    }
-    print_matrix(
-        &format!(
-            "Thread scaling ({}): TPS vs same-scale 1-worker baseline",
-            wkind.name()
-        ),
-        &["1", "2", "4", "8"],
-        &rows,
-    );
-}
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    sweep(WorkloadKind::BTreeRand);
-    sweep(WorkloadKind::Sps);
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("\nhost parallelism: {host_cores} core(s) — the host curve saturates there");
-    println!("paper shape: Fig 5b — contention on the shared L3 and NVRAM");
-    println!("banks keeps scaling sub-linear; SSP keeps its lead at 4 threads");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::scaling::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

@@ -1,47 +1,12 @@
-//! Table 3 — write-set characterisation: average cache lines modified /
-//! average pages modified / maximum pages modified per transaction, for
-//! all nine workloads.
+//! Thin wrapper: this target lives in `ssp_bench::targets::table3` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench table3_writeset`.
 
-use ssp_bench::{
-    env_setup, print_matrix, run_cell_cached, EngineKind, SspConfig, WorkloadCache, WorkloadKind,
-};
-use ssp_simulator::config::MachineConfig;
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    let cache = &mut WorkloadCache::new();
-    let cfg = MachineConfig::default().with_cores(1);
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(1);
-
-    let mut rows = Vec::new();
-    for wkind in WorkloadKind::ALL {
-        let r = run_cell_cached(
-            cache,
-            EngineKind::Ssp,
-            wkind,
-            &cfg,
-            &ssp_cfg,
-            scale,
-            &run_cfg,
-        );
-        let s = &r.txn_stats;
-        rows.push((
-            wkind.name().to_string(),
-            vec![format!(
-                "{:.0}/{:.0}/{}",
-                s.avg_lines_per_txn().round(),
-                s.avg_pages_per_txn().round(),
-                s.pages_written_max
-            )],
-        ));
-    }
-    print_matrix(
-        "Table 3: write set (avg lines / avg pages / max pages per txn)",
-        &["WriteSet"],
-        &rows,
-    );
-    println!("\npaper: BTree-Rand 10/6/21  RBTree-Rand 12/3/13  Hash-Rand 3/3/4  SPS 2/2/2");
-    println!(
-        "       BTree-Zipf 6/4/15   RBTree-Zipf 5/2/6    Hash-Zipf 3/3/4  Memcached 3/2/35  Vacation 4/3/9"
-    );
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::table3::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

@@ -1,76 +1,12 @@
-//! Tables 4 and 5 — the real workloads (Memcached, Vacation): SSP's
-//! throughput improvement over the logging designs (Table 4) and its
-//! NVRAM write-traffic saving (Table 5), plus the consolidation share of
-//! SSP's writes that Section 5.4 quotes (15% / 31%).
+//! Thin wrapper: this target lives in `ssp_bench::targets::table4` so the
+//! `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`] (pooled cells, cross-target warm-engine reuse). Run
+//! standalone via `cargo bench -p ssp-bench --bench table4_real_workloads`.
 
-use ssp_bench::{env_setup, print_matrix, run_cell_shared, EngineKind, SspConfig, WorkloadKind};
-use ssp_simulator::config::MachineConfig;
-use ssp_simulator::stats::WriteClass;
+use ssp_bench::MatrixRunner;
 
 fn main() {
-    // "Four clients" in the paper: four simulated cores hitting ONE
-    // shared service (one LRU cache / one reservation DB), so this table
-    // stays on the legacy shared-machine driver — disjoint shards would
-    // turn it into four independent quarter-size services.
-    let cfg = MachineConfig::default().with_cores(4);
-    let ssp_cfg = SspConfig::default();
-    let (run_cfg, scale) = env_setup(4);
-
-    let mut rows4 = Vec::new();
-    let mut rows5 = Vec::new();
-    let mut rows_breakdown = Vec::new();
-    for wkind in WorkloadKind::REAL {
-        let mut tps = Vec::new();
-        let mut writes = Vec::new();
-        let mut ssp_result = None;
-        for ekind in EngineKind::PAPER {
-            let r = run_cell_shared(ekind, wkind, &cfg, &ssp_cfg, scale, &run_cfg);
-            tps.push(r.tps);
-            writes.push(r.nvram_writes() as f64);
-            if ekind == EngineKind::Ssp {
-                ssp_result = Some(r);
-            }
-        }
-        rows4.push((
-            wkind.name().to_string(),
-            vec![
-                format!("{:+.0}%", 100.0 * (tps[2] / tps[0] - 1.0)),
-                format!("{:+.0}%", 100.0 * (tps[2] / tps[1] - 1.0)),
-            ],
-        ));
-        rows5.push((
-            wkind.name().to_string(),
-            vec![
-                format!("{:.0}%", 100.0 * (1.0 - writes[2] / writes[0])),
-                format!("{:.0}%", 100.0 * (1.0 - writes[2] / writes[1])),
-            ],
-        ));
-        let r = ssp_result.expect("SSP ran");
-        let total = r.nvram_writes().max(1) as f64;
-        rows_breakdown.push((
-            wkind.name().to_string(),
-            vec![format!(
-                "{:.0}%",
-                100.0 * r.writes_of(WriteClass::Consolidation) as f64 / total
-            )],
-        ));
-    }
-    print_matrix(
-        "Table 4: SSP throughput improvement over the logging designs",
-        &["vs UNDO-LOG", "vs REDO-LOG"],
-        &rows4,
-    );
-    print_matrix(
-        "Table 5: SSP NVRAM write-traffic saving",
-        &["vs UNDO-LOG", "vs REDO-LOG"],
-        &rows5,
-    );
-    print_matrix(
-        "Section 5.4: consolidation share of SSP's NVRAM writes",
-        &["Consolidation"],
-        &rows_breakdown,
-    );
-    println!("\npaper: Table 4 Memcached +75%/+35%, Vacation +27%/+13%;");
-    println!("       Table 5 Memcached 49%/46%, Vacation 38%/17%;");
-    println!("       consolidation share 15% (Memcached) and 31% (Vacation)");
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::table4::run(&runner).write();
+    println!("{}", runner.stats_line());
 }

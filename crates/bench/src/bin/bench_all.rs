@@ -1,0 +1,29 @@
+//! Runs the full evaluation — every ported bench target — in one process
+//! against a single shared [`MatrixRunner`], so the (engine × workload ×
+//! threads) grid fans out over host threads and warm engines / memoized
+//! cells flow *across* targets (Figures 5a, 6, 7 and 9's baseline are
+//! largely the same cells; standalone binaries re-simulate them, this
+//! does not).
+//!
+//! ```text
+//! SSP_BENCH_QUICK=1        smoke scale (CI)
+//! SSP_BENCH_HOST_THREADS=N pool size (default: available parallelism)
+//! SSP_BENCH_JSON_DIR=DIR   where BENCH_<name>.json land (default: .)
+//! cargo run --release -p ssp-bench --bin bench_all
+//! ```
+
+use std::time::Instant;
+
+use ssp_bench::{targets, MatrixRunner};
+
+fn main() {
+    let t0 = Instant::now();
+    let runner = MatrixRunner::new();
+    let reports = targets::run_all(&runner);
+    println!(
+        "\n== bench_all: {} targets in {:.2} s ==",
+        reports.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!("{}", runner.stats_line());
+}

@@ -1,0 +1,167 @@
+//! The CI perf-regression gate: compares fresh `BENCH_*.json` reports
+//! against the committed baselines and fails on **any** exact mismatch in
+//! the deterministic (`sim`) sections. The simulated counters are exact
+//! oracles — same binary, same quick/full mode, same counters on every
+//! host — so there is no statistical tolerance to tune. Host wall-clock
+//! drift beyond 20% is reported as a warning only.
+//!
+//! ```text
+//! cargo run --release -p ssp-bench --bin bench_diff -- \
+//!     [--baselines crates/bench/benches/baselines] [--fresh .]
+//! ```
+//!
+//! Exit codes: 0 = gate passed (warnings allowed), 1 = regression or
+//! missing report, 2 = usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ssp_bench::json::Json;
+use ssp_bench::{diff_reports, DiffReport};
+
+const DEFAULT_BASELINES: &str = "crates/bench/benches/baselines";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_diff [--baselines DIR] [--fresh DIR]");
+    ExitCode::from(2)
+}
+
+fn bench_jsons(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut baselines = PathBuf::from(DEFAULT_BASELINES);
+    let mut fresh = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baselines" => match args.next() {
+                Some(dir) => baselines = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--fresh" => match args.next() {
+                Some(dir) => fresh = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let baseline_names = match bench_jsons(&baselines) {
+        Ok(names) if !names.is_empty() => names,
+        Ok(_) => {
+            eprintln!("no BENCH_*.json baselines in {}", baselines.display());
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    for name in &baseline_names {
+        let fresh_path = fresh.join(name);
+        if !fresh_path.exists() {
+            println!(
+                "FAIL {name}: no fresh report at {} (did its bench run?)",
+                fresh_path.display()
+            );
+            failures += 1;
+            continue;
+        }
+        let (base_doc, fresh_doc) = match (load(&baselines.join(name)), load(&fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for e in [b.err(), f.err()].into_iter().flatten() {
+                    println!("FAIL {name}: {e}");
+                }
+                failures += 1;
+                continue;
+            }
+        };
+        let DiffReport {
+            mismatches,
+            warnings: warns,
+        } = diff_reports(&base_doc, &fresh_doc);
+        if mismatches.is_empty() {
+            println!(
+                "ok   {name}{}",
+                if warns.is_empty() {
+                    ""
+                } else {
+                    " (with warnings)"
+                }
+            );
+        } else {
+            println!(
+                "FAIL {name}: {} deviation(s) from baseline",
+                mismatches.len()
+            );
+            for m in &mismatches {
+                println!("       {m}");
+            }
+            failures += 1;
+        }
+        for w in &warns {
+            println!("warn {name}: {w}");
+            warnings += 1;
+        }
+    }
+
+    // Fresh reports without a committed baseline are a gate hole — a new
+    // bench target must land with its oracle.
+    match bench_jsons(&fresh) {
+        Ok(fresh_names) => {
+            for name in fresh_names {
+                if !baseline_names.contains(&name) {
+                    println!("FAIL {name}: fresh report has no committed baseline");
+                    failures += 1;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "\nbench_diff: {} baseline(s), {failures} failure(s), {warnings} warning(s)",
+        baseline_names.len()
+    );
+    if failures > 0 {
+        println!(
+            "\nsimulated counters deviated from the committed baselines. If this\n\
+             perf/behaviour change is INTENDED, re-baseline and commit:\n\
+             \n\
+             \tSSP_BENCH_QUICK=1 SSP_BENCH_JSON_DIR={DEFAULT_BASELINES} \\\n\
+             \t  cargo run --release -p ssp-bench --bin bench_all\n\
+             \tgit add {DEFAULT_BASELINES}\n\
+             \n\
+             and explain the shift in the commit message. If it is NOT intended,\n\
+             you have a perf or counter regression — the paths above say where."
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

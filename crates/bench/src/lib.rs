@@ -7,14 +7,22 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod matrix;
+pub mod report;
+pub mod targets;
+
+pub use matrix::{AnyEngine, CellDriver, CellOut, CellSpec, MatrixRunner};
+pub use report::{cell_json, diff_reports, BenchReport, DiffReport, SCHEMA_VERSION};
+
 use ssp_baselines::{RedoLog, ShadowPaging, UndoLog};
 use ssp_core::engine::Ssp;
 pub use ssp_core::SspConfig;
 use ssp_simulator::config::MachineConfig;
 use ssp_txn::engine::TxnEngine;
-use ssp_workloads::runner::{
-    run, run_parallel, ExecMode, ParallelRun, RunConfig, RunResult, Workload,
-};
+pub use ssp_workloads::runner::{ExecMode, ParallelRun, RunConfig, RunResult, Workload};
+
+use ssp_workloads::runner::{run, run_parallel};
 use ssp_workloads::{
     BTreeWorkload, HashWorkload, KeyDist, MemcachedWorkload, RbTreeWorkload, Sps, VacationWorkload,
 };

@@ -104,8 +104,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn invalid_subpage_panics() {
-        let mut c = SspConfig::default();
-        c.lines_per_subpage = 3;
+        let c = SspConfig {
+            lines_per_subpage: 3,
+            ..SspConfig::default()
+        };
         c.validate();
     }
 

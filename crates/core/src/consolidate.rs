@@ -34,7 +34,7 @@ pub struct ConsolidationStats {
 /// them synchronously but does **not** charge their latency to any core —
 /// only their NVRAM writes are counted (class
 /// [`WriteClass::Consolidation`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Consolidator {
     queue: Vec<SlotId>,
     stats: ConsolidationStats,

@@ -38,7 +38,7 @@ use crate::ssp_cache::SspCache;
 use crate::write_set::{WriteSetBuffer, WriteSetInsert};
 
 /// Per-core state of an open transaction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u32,
     tracker: WriteSetTracker,
@@ -72,7 +72,7 @@ struct OpenTxn {
 /// ssp.load(core, addr, &mut buf);
 /// assert_eq!(u64::from_le_bytes(buf), 42);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ssp {
     machine: Machine,
     ssp_cfg: SspConfig,
@@ -1026,8 +1026,10 @@ mod tests {
     #[test]
     fn consolidation_disabled_ablation() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.consolidation_enabled = false;
+        let ssp_cfg = SspConfig {
+            consolidation_enabled: false,
+            ..SspConfig::default()
+        };
         let mut e = Ssp::new(cfg.clone(), ssp_cfg);
         for i in 0..(cfg.dtlb_entries + 8) {
             let p = e.map_new_page(C0).base();
@@ -1041,8 +1043,10 @@ mod tests {
     #[test]
     fn checkpoint_fires_and_data_survives() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.checkpoint_threshold_bytes = 256; // tiny: force checkpoints
+        let ssp_cfg = SspConfig {
+            checkpoint_threshold_bytes: 256, // tiny: force checkpoints
+            ..SspConfig::default()
+        };
         let mut e = Ssp::new(cfg, ssp_cfg);
         let addr = e.map_new_page(C0).base();
         for i in 0..50u64 {
@@ -1053,14 +1057,16 @@ mod tests {
         assert!(e.checkpoints() > 0);
         assert!(e.machine().stats().nvram_writes(WriteClass::Checkpoint) > 0);
         e.crash_and_recover();
-        assert_eq!(read_u64(&mut e, C0, addr.add(8 * ((49) % 8))), 49);
+        assert_eq!(read_u64(&mut e, C0, addr.add(8)), 49);
     }
 
     #[test]
     fn fallback_engages_on_write_set_overflow() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.write_set_capacity = 2;
+        let ssp_cfg = SspConfig {
+            write_set_capacity: 2,
+            ..SspConfig::default()
+        };
         let mut e = Ssp::new(cfg, ssp_cfg);
         let pages: Vec<VirtAddr> = (0..4).map(|_| e.map_new_page(C0).base()).collect();
         e.begin(C0);
@@ -1082,8 +1088,10 @@ mod tests {
     #[test]
     fn fallback_rolls_back_on_crash() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.write_set_capacity = 2;
+        let ssp_cfg = SspConfig {
+            write_set_capacity: 2,
+            ..SspConfig::default()
+        };
         let mut e = Ssp::new(cfg, ssp_cfg);
         let pages: Vec<VirtAddr> = (0..4).map(|_| e.map_new_page(C0).base()).collect();
         // Commit a baseline.
@@ -1106,8 +1114,10 @@ mod tests {
     #[test]
     fn fallback_abort_restores_in_place_updates() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.write_set_capacity = 1;
+        let ssp_cfg = SspConfig {
+            write_set_capacity: 1,
+            ..SspConfig::default()
+        };
         let mut e = Ssp::new(cfg, ssp_cfg);
         let a = e.map_new_page(C0).base();
         let b = e.map_new_page(C0).base();

@@ -41,7 +41,7 @@ pub struct UndoRecord {
 }
 
 /// The unbounded software undo log backing the fall-back path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FallbackLog {
     layout: NvLayout,
     /// Persisted append offset (bytes past the region base).

@@ -201,7 +201,7 @@ impl Record {
 
 /// The metadata journal: a volatile append buffer over an NVRAM area
 /// validated by per-record epochs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MetaJournal {
     layout: NvLayout,
     capacity: u64,

@@ -81,7 +81,7 @@ struct Slot {
 }
 
 /// The memory controller's SSP cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SspCache {
     layout: NvLayout,
     slots: Vec<Slot>,
@@ -467,8 +467,10 @@ mod tests {
     #[test]
     fn latency_model_l3_vs_dram() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.ssp_cache_l3_entries = 1;
+        let ssp_cfg = SspConfig {
+            ssp_cache_l3_entries: 1,
+            ..SspConfig::default()
+        };
         let mut cache = SspCache::new(NvLayout::default(), 4, &ssp_cfg);
         let holders = HashMap::new();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
@@ -485,8 +487,10 @@ mod tests {
     #[test]
     fn latency_override_wins() {
         let cfg = MachineConfig::default();
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.meta_latency_override = Some(140);
+        let ssp_cfg = SspConfig {
+            meta_latency_override: Some(140),
+            ..SspConfig::default()
+        };
         let mut cache = SspCache::new(NvLayout::default(), 4, &ssp_cfg);
         let holders = HashMap::new();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);

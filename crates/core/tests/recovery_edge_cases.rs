@@ -27,8 +27,10 @@ fn commit_u64(e: &mut Ssp, addr: VirtAddr, v: u64) {
 fn many_checkpoint_epochs_then_crash() {
     // Epoch wrap-around safety: force hundreds of checkpoints so the u8
     // epoch wraps at least once, then crash and verify.
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.checkpoint_threshold_bytes = 1; // checkpoint after every commit
+    let ssp_cfg = SspConfig {
+        checkpoint_threshold_bytes: 1, // checkpoint after every commit
+        ..SspConfig::default()
+    };
     let mut e = Ssp::new(MachineConfig::default(), ssp_cfg);
     let addr = e.map_new_page(C0).base();
     for i in 0..300u64 {
@@ -71,11 +73,15 @@ fn double_crash_without_intervening_work() {
 fn slot_reuse_across_crash() {
     // Tiny SSP cache + many pages: slots are recycled; the Assign records
     // must keep the persistent images coherent across crashes.
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.ssp_cache_overprovision = 2;
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 2;
-    cfg.cores = 1;
+    let ssp_cfg = SspConfig {
+        ssp_cache_overprovision: 2,
+        ..SspConfig::default()
+    };
+    let cfg = MachineConfig {
+        dtlb_entries: 2,
+        cores: 1,
+        ..MachineConfig::default()
+    };
     let mut e = Ssp::new(cfg, ssp_cfg);
     let pages: Vec<VirtAddr> = (0..12).map(|_| e.map_new_page(C0).base()).collect();
     for round in 0..3u64 {
@@ -110,8 +116,10 @@ fn crash_immediately_after_map_new_page() {
 fn uncommitted_multi_page_txn_with_checkpoint_in_flight() {
     // A checkpoint between two committed transactions must not resurrect
     // or lose anything when the *next* transaction crashes.
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.checkpoint_threshold_bytes = 32;
+    let ssp_cfg = SspConfig {
+        checkpoint_threshold_bytes: 32,
+        ..SspConfig::default()
+    };
     let mut e = Ssp::new(MachineConfig::default(), ssp_cfg);
     let a = e.map_new_page(C0).base();
     let b = e.map_new_page(C0).base();
@@ -162,8 +170,10 @@ fn interleaved_cores_one_crashes_mid_txn() {
 fn post_recovery_engine_is_fully_functional() {
     // After a crash the engine must support the complete lifecycle again:
     // mapping, transactions, aborts, consolidation, another crash.
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 4;
+    let cfg = MachineConfig {
+        dtlb_entries: 4,
+        ..MachineConfig::default()
+    };
     let mut e = Ssp::new(cfg, SspConfig::default());
     let a = e.map_new_page(C0).base();
     commit_u64(&mut e, a, 1);

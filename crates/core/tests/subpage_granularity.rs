@@ -14,8 +14,10 @@ use ssp_txn::engine::TxnEngine;
 const C0: CoreId = CoreId::new(0);
 
 fn engine(lps: usize) -> Ssp {
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.lines_per_subpage = lps;
+    let ssp_cfg = SspConfig {
+        lines_per_subpage: lps,
+        ..SspConfig::default()
+    };
     Ssp::new(MachineConfig::default(), ssp_cfg)
 }
 
@@ -129,10 +131,14 @@ fn coarser_granularity_halves_nothing_but_tracks_fewer_bits() {
 
 #[test]
 fn consolidation_works_with_groups() {
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 2;
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.lines_per_subpage = 4;
+    let cfg = MachineConfig {
+        dtlb_entries: 2,
+        ..MachineConfig::default()
+    };
+    let ssp_cfg = SspConfig {
+        lines_per_subpage: 4,
+        ..SspConfig::default()
+    };
     let mut e = Ssp::new(cfg, ssp_cfg);
     let pages: Vec<VirtAddr> = (0..8).map(|_| e.map_new_page(C0).base()).collect();
     for sweep in 0..2u64 {

@@ -56,6 +56,7 @@ impl Bencher {
 pub struct Criterion {
     warmup: Duration,
     measure: Duration,
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -63,6 +64,7 @@ impl Default for Criterion {
         Criterion {
             warmup: Duration::from_millis(50),
             measure: Duration::from_millis(300),
+            results: Vec::new(),
         }
     }
 }
@@ -95,10 +97,18 @@ impl Criterion {
                     "{name:<40} time: [{} per iter, {iters} iters]",
                     fmt_ns(per_iter)
                 );
+                self.results.push((name.to_string(), per_iter));
             }
             _ => println!("{name:<40} time: [no iterations recorded]"),
         }
         self
+    }
+
+    /// Mean nanoseconds per iteration of every completed benchmark, in
+    /// run order — a shim extension so harness-less targets can export
+    /// their measurements (the real criterion writes JSON itself).
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 }
 

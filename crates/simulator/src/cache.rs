@@ -170,7 +170,7 @@ impl LineOp<'_> {
 }
 
 /// The full cache hierarchy shared by all cores.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     l1: Vec<SetAssoc>,
     l2: Vec<SetAssoc>,
@@ -200,6 +200,7 @@ impl CacheHierarchy {
     /// # Panics
     ///
     /// Panics if a `Write` patch crosses the end of the line.
+    #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
         core: CoreId,
@@ -435,6 +436,7 @@ impl CacheHierarchy {
         fresh
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evict_from_l1(
         &mut self,
         core: CoreId,
@@ -589,6 +591,7 @@ impl CacheHierarchy {
     /// instead — SSP's line-level remap (Figure 4, step iii). The data does
     /// not move through memory. Returns `false` if `core`'s L1 does not hold
     /// `old` (the caller must fill it first).
+    #[allow(clippy::too_many_arguments)]
     pub fn retag(
         &mut self,
         core: CoreId,

@@ -245,10 +245,12 @@ mod tests {
     }
 
     fn shared_cfg(nvram_banks: usize) -> MachineConfig {
-        let mut cfg = MachineConfig::default();
-        cfg.interconnect = InterconnectConfig::shared();
-        cfg.interconnect.nvram_banks = nvram_banks;
-        cfg
+        let mut interconnect = InterconnectConfig::shared();
+        interconnect.nvram_banks = nvram_banks;
+        MachineConfig {
+            interconnect,
+            ..MachineConfig::default()
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::timing::{AccessKind, MemTiming};
 /// m.read(CoreId::new(0), addr, &mut buf);
 /// assert_eq!(buf, [1, 2, 3]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
     mem: PhysMem,

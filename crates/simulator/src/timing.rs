@@ -302,8 +302,10 @@ mod tests {
         // A burst issued "at the same instant" (background write-back
         // charges no core cycles) must still arrive one service time
         // apart — the shard has one controller port.
-        let mut cfg = MachineConfig::default();
-        cfg.interconnect = crate::config::InterconnectConfig::shared();
+        let cfg = MachineConfig {
+            interconnect: crate::config::InterconnectConfig::shared(),
+            ..MachineConfig::default()
+        };
         let mut t = MemTiming::new(&cfg);
         let mut s = MachineStats::new();
         t.set_now(100);
@@ -326,8 +328,10 @@ mod tests {
 
     #[test]
     fn reset_discards_recorded_events() {
-        let mut cfg = MachineConfig::default();
-        cfg.interconnect = crate::config::InterconnectConfig::shared();
+        let cfg = MachineConfig {
+            interconnect: crate::config::InterconnectConfig::shared(),
+            ..MachineConfig::default()
+        };
         let mut t = MemTiming::new(&cfg);
         let mut s = MachineStats::new();
         t.access_cycles(

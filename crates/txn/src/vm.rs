@@ -121,7 +121,7 @@ const HDR_NEXT_VPN: u64 = 0;
 /// let ppn = vm.translate(vpn).unwrap();
 /// assert_eq!(vm.translate(vpn), Some(ppn));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VmManager {
     layout: NvLayout,
     next_index: u64,

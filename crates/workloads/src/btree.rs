@@ -563,9 +563,8 @@ mod tests {
         for _ in 0..600 {
             let key = rng.gen_range(0..300u64);
             e.begin(C0);
-            if model.contains_key(&key) {
+            if model.remove(&key).is_some() {
                 assert!(t.remove(&mut e, C0, key));
-                model.remove(&key);
             } else {
                 t.insert(&mut e, C0, key, key + 7);
                 model.insert(key, key + 7);

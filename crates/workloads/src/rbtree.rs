@@ -583,9 +583,8 @@ mod tests {
         for i in 0..500 {
             let key = rng.gen_range(0..200u64);
             e.begin(C0);
-            if model.contains_key(&key) {
+            if model.remove(&key).is_some() {
                 assert!(t.remove(&mut e, C0, key), "remove {key} at step {i}");
-                model.remove(&key);
             } else {
                 t.insert(&mut e, C0, key, key + 1);
                 model.insert(key, key + 1);

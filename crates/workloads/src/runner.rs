@@ -338,7 +338,6 @@ struct EpochSync {
 
 struct EpochState {
     interconnect: Option<Interconnect>,
-    arbiter_cfg: Option<MachineConfig>,
     streams: Vec<Vec<MemEvent>>,
     remaining: Vec<u64>,
     charges: Vec<EpochCharge>,
@@ -351,7 +350,6 @@ impl EpochSync {
             barrier: PoisonBarrier::new(workers),
             state: Mutex::new(EpochState {
                 interconnect: None,
-                arbiter_cfg: None,
                 streams: vec![Vec::new(); workers],
                 remaining: vec![u64::MAX; workers],
                 charges: vec![EpochCharge::default(); workers],
@@ -359,33 +357,13 @@ impl EpochSync {
             }),
         }
     }
-
-    /// Worker 0 deposits its machine config before the start barrier;
-    /// every interconnect decision of the run — whether epochs run at
-    /// all, the epoch length, and the controller's banks and service
-    /// times — derives from this one config in *both* execution modes.
-    /// Shards are expected to share the knobs; routing everything through
-    /// worker 0's copy means a mixed-configuration factory can neither
-    /// strand part of the team at the epoch barrier nor make the
-    /// arbitration depend on which thread happens to win a barrier
-    /// leadership (an enabled shard in a disabled run merely has its
-    /// event log discarded per transaction).
-    fn deposit_arbiter_config(&self, cfg: MachineConfig) {
-        self.state.lock().expect("epoch state poisoned").arbiter_cfg = Some(cfg);
-    }
-
-    /// Worker 0's machine config (valid after the start barrier).
-    fn arbiter_config(&self) -> MachineConfig {
-        self.state
-            .lock()
-            .expect("epoch state poisoned")
-            .arbiter_cfg
-            .clone()
-            .expect("start barrier guarantees the deposit")
-    }
 }
 
+/// Measurement baselines of one shard (stats, txn stats, start cycles).
+type ShardBase = (MachineStats, TxnStats, u64);
+
 /// Per-worker driver state for the sharded run.
+#[derive(Clone)]
 struct Worker<E, W> {
     engine: E,
     workload: W,
@@ -426,11 +404,6 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
             self.engine.txn_stats().clone(),
             self.engine.machine().cycles(SHARD_CORE),
         )
-    }
-
-    /// Whether this worker's shard participates in epoch arbitration.
-    fn interconnect_enabled(&self) -> bool {
-        self.engine.machine().config().interconnect.enabled
     }
 
     /// Runs this worker's transactions up to the next epoch boundary:
@@ -508,9 +481,156 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
     }
 }
 
+/// A warmed sharded run, snapshotted right before the measured phase:
+/// every worker holds its engine after workload setup + warm-up, its RNG
+/// mid-stream, and its measurement baselines.
+///
+/// This is the unit the bench harness's engine cache stores: cloning a
+/// `WarmParallel` yields an independent replica, and running the measured
+/// phase on a restored clone is **bit-identical** to a from-scratch
+/// [`run_parallel`] with the same `RunConfig` — warm state is a pure
+/// function of (factories, seed, warm-up count, thread count), never of
+/// host scheduling or of how many clones ran before.
+pub struct WarmParallel<E, W> {
+    workers: Vec<Worker<E, W>>,
+    bases: Vec<ShardBase>,
+}
+
+impl<E: TxnEngine + Clone, W: Workload + Clone> Clone for WarmParallel<E, W> {
+    fn clone(&self) -> Self {
+        Self {
+            workers: self.workers.clone(),
+            bases: self.bases.clone(),
+        }
+    }
+}
+
+/// Builds and warms `cfg.threads` workers: each constructs its engine and
+/// workload from the factories, runs setup plus its warm-up share, and
+/// snapshots the measurement baselines. In [`ExecMode::Threaded`] the
+/// factories and warm-up run *inside* each worker's thread (construction
+/// cost is parallel); [`ExecMode::Sequential`] warms on the calling
+/// thread. Both produce bit-identical warm state — workers never interact
+/// before the measured phase.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero or a worker thread panics.
+pub fn warm_parallel<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+) -> WarmParallel<E, W>
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    assert!(cfg.threads >= 1, "at least one worker");
+    let pairs: Vec<(Worker<E, W>, ShardBase)> = match cfg.mode {
+        ExecMode::Threaded => std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.threads)
+                .map(|w| {
+                    let (mk_engine, mk_workload) = (&mk_engine, &mk_workload);
+                    scope.spawn(move || {
+                        let mut worker = Worker::new(mk_engine(w), mk_workload(w), cfg, w);
+                        let base = worker.prepare();
+                        (worker, base)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked during warm-up"))
+                .collect()
+        }),
+        ExecMode::Sequential => (0..cfg.threads)
+            .map(|w| {
+                let mut worker = Worker::new(mk_engine(w), mk_workload(w), cfg, w);
+                let base = worker.prepare();
+                (worker, base)
+            })
+            .collect(),
+    };
+    let (workers, bases) = pairs.into_iter().unzip();
+    WarmParallel { workers, bases }
+}
+
+impl<E: TxnEngine, W: Workload> WarmParallel<E, W> {
+    /// Runs `txns` measured transactions ([`worker_share`]-split across
+    /// the workers, like [`run_parallel`]) on this warm state and merges
+    /// the per-worker measurements deterministically (see the module docs
+    /// for the threading model and determinism contract). Taking the
+    /// count here — rather than freezing it at warm time — is what lets
+    /// one warm snapshot serve cells that differ only in measured length.
+    /// Consumes the warm state; clone first to keep a restorable
+    /// snapshot.
+    pub fn run_measured(self, txns: u64, mode: ExecMode) -> ParallelRun<E> {
+        let WarmParallel {
+            mut workers, bases, ..
+        } = self;
+        let threads = workers.len();
+        for (w, worker) in workers.iter_mut().enumerate() {
+            worker.txns = worker_share(txns, threads, w);
+        }
+        // Every interconnect decision of the run — whether epochs run at
+        // all, the epoch length, and the controller's banks and service
+        // times — derives from worker 0's config in *both* execution
+        // modes. Shards are expected to share the knobs; routing
+        // everything through worker 0's copy means a mixed-configuration
+        // factory can neither strand part of the team at the epoch
+        // barrier nor make the arbitration depend on which thread happens
+        // to win a barrier leadership (an enabled shard in a disabled run
+        // merely has its event log discarded per transaction).
+        let arbiter_cfg = workers[0].engine.machine().config().clone();
+        let txns_total = txns;
+        let (workers, host_elapsed) = match mode {
+            ExecMode::Threaded => measure_workers_threaded(workers, &arbiter_cfg),
+            ExecMode::Sequential => measure_workers_sequential(workers, &arbiter_cfg),
+        };
+        let shards: Vec<ShardRun<E>> = workers
+            .into_iter()
+            .zip(bases)
+            .enumerate()
+            .map(|(w, (worker, base))| worker.finish(w, base))
+            .collect();
+
+        let mut stats = MachineStats::new();
+        let mut txn_stats = TxnStats::default();
+        for shard in &shards {
+            stats.merge(&shard.stats);
+            txn_stats.merge(&shard.txn_stats);
+        }
+        let elapsed = shards.iter().map(|s| s.elapsed_cycles).max().unwrap_or(0);
+        let freq_hz = shards[0].engine.machine().config().freq_ghz * 1e9;
+        let tps = if elapsed == 0 {
+            0.0
+        } else {
+            txns_total as f64 / (elapsed as f64 / freq_hz)
+        };
+
+        let result = RunResult {
+            engine: shards[0].engine.name().to_string(),
+            workload: shards[0].workload.to_string(),
+            txns: txns_total,
+            elapsed_cycles: elapsed,
+            tps,
+            stats,
+            txn_stats,
+        };
+        ParallelRun {
+            result,
+            shards,
+            host_elapsed,
+        }
+    }
+}
+
 /// Runs `cfg.threads` machine shards, each built by the factories for its
 /// worker index, and merges the per-worker measurements deterministically
 /// (see the module docs for the threading model and determinism contract).
+/// Equivalent to [`warm_parallel`] followed by
+/// [`WarmParallel::run_measured`] — the warm/measure split exists so the
+/// bench harness can snapshot and restore warm state across matrix cells.
 ///
 /// `mk_engine(w)`/`mk_workload(w)` are called once per worker, *inside*
 /// that worker's thread in [`ExecMode::Threaded`], so construction cost is
@@ -529,81 +649,39 @@ where
     E: TxnEngine,
     W: Workload,
 {
-    assert!(cfg.threads >= 1, "at least one worker");
-
-    let (shards, host_elapsed) = match cfg.mode {
-        ExecMode::Threaded => run_workers_threaded(&mk_engine, &mk_workload, cfg),
-        ExecMode::Sequential => run_workers_sequential(&mk_engine, &mk_workload, cfg),
-    };
-
-    let mut stats = MachineStats::new();
-    let mut txn_stats = TxnStats::default();
-    for shard in &shards {
-        stats.merge(&shard.stats);
-        txn_stats.merge(&shard.txn_stats);
-    }
-    let elapsed = shards.iter().map(|s| s.elapsed_cycles).max().unwrap_or(0);
-    let freq_hz = shards[0].engine.machine().config().freq_ghz * 1e9;
-    let tps = if elapsed == 0 {
-        0.0
-    } else {
-        cfg.txns as f64 / (elapsed as f64 / freq_hz)
-    };
-
-    let result = RunResult {
-        engine: shards[0].engine.name().to_string(),
-        workload: shards[0].workload.to_string(),
-        txns: cfg.txns,
-        elapsed_cycles: elapsed,
-        tps,
-        stats,
-        txn_stats,
-    };
-    ParallelRun {
-        result,
-        shards,
-        host_elapsed,
-    }
+    warm_parallel(mk_engine, mk_workload, cfg).run_measured(cfg.txns, cfg.mode)
 }
 
-fn run_workers_threaded<E, W>(
-    mk_engine: &(impl Fn(usize) -> E + Sync),
-    mk_workload: &(impl Fn(usize) -> W + Sync),
-    cfg: &RunConfig,
-) -> (Vec<ShardRun<E>>, Duration)
+fn measure_workers_threaded<E, W>(
+    workers: Vec<Worker<E, W>>,
+    arbiter_cfg: &MachineConfig,
+) -> (Vec<Worker<E, W>>, Duration)
 where
     E: TxnEngine,
     W: Workload,
 {
+    let threads = workers.len();
     // Two rendezvous with the coordinator bracket the measured phase so
     // host_elapsed covers exactly the span in which measured transactions
     // run (setup and warm-up stay outside). Poisoning barriers turn a
     // panic in any participant into a loud failure of the whole run
     // rather than a deadlock of the surviving waiters.
-    let start = PoisonBarrier::new(cfg.threads + 1);
-    let end = PoisonBarrier::new(cfg.threads + 1);
+    let start = PoisonBarrier::new(threads + 1);
+    let end = PoisonBarrier::new(threads + 1);
     // Epoch rendezvous for the interconnect (workers only); unused unless
-    // the shards' machine config enables the model. All shards must agree
-    // on `interconnect.enabled` — they come from one factory, which hands
-    // every worker the same knobs.
-    let epoch_sync = EpochSync::new(cfg.threads);
+    // the arbiter config enables the model.
+    let epoch_sync = EpochSync::new(threads);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.threads)
-            .map(|w| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut worker)| {
                 let (start, end, epoch_sync) = (&start, &end, &epoch_sync);
                 scope.spawn(move || {
                     let _poison = PoisonOnPanic(vec![start, end, &epoch_sync.barrier]);
-                    let mut worker = Worker::new(mk_engine(w), mk_workload(w), cfg, w);
-                    let base = worker.prepare();
-                    if w == 0 {
-                        epoch_sync.deposit_arbiter_config(worker.engine.machine().config().clone());
-                    }
                     start.wait();
-                    // All interconnect decisions come from worker 0's
-                    // config (see `deposit_arbiter_config`).
-                    let arbiter_cfg = epoch_sync.arbiter_config();
                     if arbiter_cfg.interconnect.enabled {
-                        worker.run_measured_epochs(w, epoch_sync, &arbiter_cfg);
+                        worker.run_measured_epochs(w, epoch_sync, arbiter_cfg);
                     } else {
                         for _ in 0..worker.txns {
                             worker.one_txn();
@@ -614,7 +692,7 @@ where
                         }
                     }
                     end.wait();
-                    worker.finish(w, base)
+                    worker
                 })
             })
             .collect();
@@ -622,31 +700,25 @@ where
         let t0 = Instant::now();
         end.wait();
         let host_elapsed = t0.elapsed();
-        let shards = handles
+        let workers = handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
-        (shards, host_elapsed)
+        (workers, host_elapsed)
     })
 }
 
-fn run_workers_sequential<E, W>(
-    mk_engine: &impl Fn(usize) -> E,
-    mk_workload: &impl Fn(usize) -> W,
-    cfg: &RunConfig,
-) -> (Vec<ShardRun<E>>, Duration)
+fn measure_workers_sequential<E, W>(
+    mut workers: Vec<Worker<E, W>>,
+    arbiter_cfg: &MachineConfig,
+) -> (Vec<Worker<E, W>>, Duration)
 where
     E: TxnEngine,
     W: Workload,
 {
-    let mut workers: Vec<Worker<E, W>> = (0..cfg.threads)
-        .map(|w| Worker::new(mk_engine(w), mk_workload(w), cfg, w))
-        .collect();
-    let bases: Vec<_> = workers.iter_mut().map(Worker::prepare).collect();
-
     let t0 = Instant::now();
     // Like the threaded driver, the run routes on worker 0's flag.
-    if workers[0].interconnect_enabled() {
+    if arbiter_cfg.interconnect.enabled {
         run_epochs_sequential(&mut workers);
     } else {
         // The reference schedule: one transaction per worker per round, in
@@ -664,14 +736,7 @@ where
         }
     }
     let host_elapsed = t0.elapsed();
-
-    let shards = workers
-        .into_iter()
-        .zip(bases)
-        .enumerate()
-        .map(|(w, (worker, base))| worker.finish(w, base))
-        .collect();
-    (shards, host_elapsed)
+    (workers, host_elapsed)
 }
 
 /// The sequential analogue of [`Worker::run_measured_epochs`]: identical
@@ -733,6 +798,20 @@ pub fn run<E: TxnEngine>(
     workload: &mut dyn Workload,
     cfg: &RunConfig,
 ) -> RunResult {
+    let mut rng = single_check_and_seed(engine, cfg);
+    let base = single_warm(engine, workload, cfg, &mut rng);
+    single_measured(engine, workload, cfg.threads, cfg.txns, &mut rng, &base)
+}
+
+/// Measurement baselines of the legacy driver, snapshotted after warm-up.
+#[derive(Debug, Clone)]
+struct SingleBase {
+    stats: MachineStats,
+    txn: TxnStats,
+    cycles: Vec<u64>,
+}
+
+fn single_check_and_seed<E: TxnEngine>(engine: &E, cfg: &RunConfig) -> SmallRng {
     assert!(cfg.threads >= 1, "at least one thread");
     assert!(
         cfg.threads <= engine.machine().config().cores,
@@ -746,53 +825,151 @@ pub fn run<E: TxnEngine>(
         !engine.machine().config().interconnect.enabled,
         "the cross-shard interconnect requires run_parallel"
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    SmallRng::seed_from_u64(cfg.seed)
+}
 
+/// Setup + warm-up of the legacy driver; returns the baselines that
+/// exclude both from the measurement.
+fn single_warm<E: TxnEngine>(
+    engine: &mut E,
+    workload: &mut dyn Workload,
+    cfg: &RunConfig,
+    rng: &mut SmallRng,
+) -> SingleBase {
     workload.setup(engine, CoreId::new(0));
-
     for i in 0..cfg.warmup {
         let core = CoreId::new((i % cfg.threads as u64) as usize);
         engine.begin(core);
-        workload.run_txn(engine, core, &mut rng);
+        workload.run_txn(engine, core, rng);
         engine.commit(core);
     }
+    SingleBase {
+        stats: engine.machine().stats().clone(),
+        txn: engine.txn_stats().clone(),
+        cycles: (0..cfg.threads)
+            .map(|c| engine.machine().cycles(CoreId::new(c)))
+            .collect(),
+    }
+}
 
-    // Exclude setup + warm-up from the measurement.
-    let stats_base = engine.machine().stats().clone();
-    let txn_base = engine.txn_stats().clone();
-    let cycles_base: Vec<u64> = (0..cfg.threads)
-        .map(|c| engine.machine().cycles(CoreId::new(c)))
-        .collect();
-
-    for i in 0..cfg.txns {
-        let core = CoreId::new((i % cfg.threads as u64) as usize);
+/// The measured phase of the legacy driver.
+fn single_measured<E: TxnEngine>(
+    engine: &mut E,
+    workload: &mut dyn Workload,
+    threads: usize,
+    txns: u64,
+    rng: &mut SmallRng,
+    base: &SingleBase,
+) -> RunResult {
+    for i in 0..txns {
+        let core = CoreId::new((i % threads as u64) as usize);
         engine.begin(core);
-        workload.run_txn(engine, core, &mut rng);
+        workload.run_txn(engine, core, rng);
         engine.commit(core);
     }
 
-    let stats = engine.machine().stats().diff(&stats_base);
-    let txn_stats = engine.txn_stats().diff(&txn_base);
+    let stats = engine.machine().stats().diff(&base.stats);
+    let txn_stats = engine.txn_stats().diff(&base.txn);
 
-    let elapsed = (0..cfg.threads)
-        .map(|c| engine.machine().cycles(CoreId::new(c)) - cycles_base[c])
+    let elapsed = (0..threads)
+        .map(|c| engine.machine().cycles(CoreId::new(c)) - base.cycles[c])
         .max()
         .unwrap_or(0);
     let freq_hz = engine.machine().config().freq_ghz * 1e9;
     let tps = if elapsed == 0 {
         0.0
     } else {
-        cfg.txns as f64 / (elapsed as f64 / freq_hz)
+        txns as f64 / (elapsed as f64 / freq_hz)
     };
 
     RunResult {
         engine: engine.name().to_string(),
         workload: workload.name().to_string(),
-        txns: cfg.txns,
+        txns,
         elapsed_cycles: elapsed,
         tps,
         stats,
         txn_stats,
+    }
+}
+
+/// A warmed legacy-driver cell, snapshotted right before the measured
+/// phase: the engine after workload setup + warm-up, the RNG mid-stream,
+/// and the measurement baselines. The single-machine counterpart of
+/// [`WarmParallel`] — cloning yields an independent replica, and a
+/// restored clone's measured phase is bit-identical to a from-scratch
+/// [`run`] with the same `RunConfig`.
+pub struct WarmSingle<E> {
+    engine: E,
+    workload: Box<dyn Workload>,
+    rng: SmallRng,
+    threads: usize,
+    base: SingleBase,
+}
+
+impl<E: TxnEngine + Clone> Clone for WarmSingle<E> {
+    fn clone(&self) -> Self {
+        Self {
+            engine: self.engine.clone(),
+            workload: self.workload.clone(),
+            rng: self.rng.clone(),
+            threads: self.threads,
+            base: self.base.clone(),
+        }
+    }
+}
+
+/// One finished legacy-driver cell: the merged measurements plus the
+/// engine (for post-run probes — recovery counters, journal state) and
+/// the host wall-clock of the measured phase.
+pub struct SingleRun<E> {
+    /// Merged measurements (deterministic).
+    pub result: RunResult,
+    /// The engine after the measured phase.
+    pub engine: E,
+    /// Host wall-clock of the measured phase (not deterministic).
+    pub host_elapsed: Duration,
+}
+
+/// Warms an owned engine + workload for the legacy single-machine driver:
+/// setup, `cfg.warmup` transactions round-robin over `cfg.threads`
+/// simulated cores, then the baseline snapshot. See [`run`] for the
+/// driver's semantics and panics.
+pub fn warm_single<E: TxnEngine>(
+    mut engine: E,
+    mut workload: Box<dyn Workload>,
+    cfg: &RunConfig,
+) -> WarmSingle<E> {
+    let mut rng = single_check_and_seed(&engine, cfg);
+    let base = single_warm(&mut engine, workload.as_mut(), cfg, &mut rng);
+    WarmSingle {
+        engine,
+        workload,
+        rng,
+        threads: cfg.threads,
+        base,
+    }
+}
+
+impl<E: TxnEngine> WarmSingle<E> {
+    /// Runs `txns` measured transactions on this warm state. Consumes the
+    /// warm state; clone first to keep a restorable snapshot.
+    pub fn run_measured(mut self, txns: u64) -> SingleRun<E> {
+        let t0 = Instant::now();
+        let result = single_measured(
+            &mut self.engine,
+            self.workload.as_mut(),
+            self.threads,
+            txns,
+            &mut self.rng,
+            &self.base,
+        );
+        let host_elapsed = t0.elapsed();
+        SingleRun {
+            result,
+            engine: self.engine,
+            host_elapsed,
+        }
     }
 }
 
@@ -1013,8 +1190,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires run_parallel")]
     fn legacy_run_rejects_interconnect_machines() {
-        let mut cfg = MachineConfig::default();
-        cfg.interconnect = ssp_simulator::config::InterconnectConfig::shared();
+        let cfg = MachineConfig {
+            interconnect: ssp_simulator::config::InterconnectConfig::shared(),
+            ..MachineConfig::default()
+        };
         let mut e = Ssp::new(cfg, SspConfig::default());
         let mut w = Sps::new(64, KeyDist::uniform(64));
         run(&mut e, &mut w, &small_cfg());
@@ -1116,7 +1295,7 @@ mod tests {
         e2.begin(CoreId::new(0));
         clone.run_txn(&mut e2, CoreId::new(0), &mut rng);
         e2.commit(CoreId::new(0));
-        assert_eq!(e2.txn_stats().committed > 0, true);
+        assert!(e2.txn_stats().committed > 0);
     }
 
     #[test]

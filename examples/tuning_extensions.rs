@@ -14,8 +14,10 @@ use ssp::txn::engine::TxnEngine;
 use ssp::{SspConfig, WriteClass};
 
 fn sparse_updates(lines_per_subpage: usize) -> (u64, u64) {
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.lines_per_subpage = lines_per_subpage;
+    let ssp_cfg = SspConfig {
+        lines_per_subpage,
+        ..SspConfig::default()
+    };
     let mut engine = Ssp::new(MachineConfig::default(), ssp_cfg);
     let core = CoreId::new(0);
     let page = engine.map_new_page(core).base();

@@ -21,8 +21,10 @@ fn write_u64(e: &mut Ssp, addr: VirtAddr, v: u64) {
 
 #[test]
 fn consolidation_preserves_data_under_heavy_tlb_churn() {
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 8;
+    let cfg = MachineConfig {
+        dtlb_entries: 8,
+        ..MachineConfig::default()
+    };
     let mut e = Ssp::new(cfg, SspConfig::default());
     let pages: Vec<VirtAddr> = (0..64).map(|_| e.map_new_page(C0).base()).collect();
 
@@ -57,8 +59,10 @@ fn consolidation_preserves_data_under_heavy_tlb_churn() {
 fn consolidation_copies_fewer_side() {
     // Write one line on a page, evict it: consolidation should copy 1 line
     // (the single committed-in-shadow line), not 63.
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 2;
+    let cfg = MachineConfig {
+        dtlb_entries: 2,
+        ..MachineConfig::default()
+    };
     let mut e = Ssp::new(cfg, SspConfig::default());
     let a = e.map_new_page(C0).base();
     write_u64(&mut e, a, 7);
@@ -77,8 +81,10 @@ fn consolidation_copies_fewer_side() {
 fn consolidation_swaps_when_shadow_side_wins() {
     // Dirty 60 of 64 lines so the shadow page holds more committed data
     // and consolidation repoints the mapping instead of copying 60 lines.
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 2;
+    let cfg = MachineConfig {
+        dtlb_entries: 2,
+        ..MachineConfig::default()
+    };
     let mut e = Ssp::new(cfg, SspConfig::default());
     let a = e.map_new_page(C0).base();
     e.begin(C0);
@@ -104,12 +110,16 @@ fn consolidation_swaps_when_shadow_side_wins() {
 
 #[test]
 fn disabling_consolidation_trades_space_for_writes() {
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 8;
+    let cfg = MachineConfig {
+        dtlb_entries: 8,
+        ..MachineConfig::default()
+    };
 
     let run = |consolidate: bool| {
-        let mut ssp_cfg = SspConfig::default();
-        ssp_cfg.consolidation_enabled = consolidate;
+        let ssp_cfg = SspConfig {
+            consolidation_enabled: consolidate,
+            ..SspConfig::default()
+        };
         let mut e = Ssp::new(cfg.clone(), ssp_cfg);
         let pages: Vec<VirtAddr> = (0..48).map(|_| e.map_new_page(C0).base()).collect();
         // Odd sweep count: each line's committed bit ends up pointing at
@@ -141,12 +151,16 @@ fn ssp_cache_grows_under_extreme_pressure_without_corruption() {
     // One slot's worth of cache, many live pages with nonzero committed
     // bitmaps and consolidation disabled: the cache must grow, not evict
     // live metadata.
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.ssp_cache_overprovision = 0;
-    ssp_cfg.consolidation_enabled = false;
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 2;
-    cfg.cores = 1;
+    let ssp_cfg = SspConfig {
+        ssp_cache_overprovision: 0,
+        consolidation_enabled: false,
+        ..SspConfig::default()
+    };
+    let cfg = MachineConfig {
+        dtlb_entries: 2,
+        cores: 1,
+        ..MachineConfig::default()
+    };
     let mut e = Ssp::new(cfg, ssp_cfg);
     let pages: Vec<VirtAddr> = (0..16).map(|_| e.map_new_page(C0).base()).collect();
     for (i, &p) in pages.iter().enumerate() {

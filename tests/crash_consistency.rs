@@ -82,8 +82,10 @@ fn shadow_random_crashes() {
 
 #[test]
 fn ssp_with_tiny_write_set_falls_back_and_stays_consistent() {
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.write_set_capacity = 2; // force the fall-back path constantly
+    let ssp_cfg = SspConfig {
+        write_set_capacity: 2, // force the fall-back path constantly
+        ..SspConfig::default()
+    };
     let mut engine = Ssp::new(MachineConfig::default(), ssp_cfg);
     torture(&mut engine, 0xE5, 100, 0.08);
     assert!(engine.txn_stats().fallbacks > 0, "fall-back path exercised");
@@ -91,8 +93,10 @@ fn ssp_with_tiny_write_set_falls_back_and_stays_consistent() {
 
 #[test]
 fn ssp_with_aggressive_checkpointing_stays_consistent() {
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.checkpoint_threshold_bytes = 128;
+    let ssp_cfg = SspConfig {
+        checkpoint_threshold_bytes: 128,
+        ..SspConfig::default()
+    };
     let mut engine = Ssp::new(MachineConfig::default(), ssp_cfg);
     torture(&mut engine, 0xF6, 100, 0.08);
     assert!(engine.checkpoints() > 0, "checkpoints exercised");
@@ -100,8 +104,10 @@ fn ssp_with_aggressive_checkpointing_stays_consistent() {
 
 #[test]
 fn ssp_with_tiny_tlb_consolidates_and_stays_consistent() {
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 4; // constant TLB pressure -> constant consolidation
+    let cfg = MachineConfig {
+        dtlb_entries: 4, // constant TLB pressure -> constant consolidation
+        ..MachineConfig::default()
+    };
     let mut engine = Ssp::new(cfg, SspConfig::default());
     torture(&mut engine, 0x17, 100, 0.08);
     assert!(
@@ -260,10 +266,8 @@ fn four_cores_crash_mid_flight() {
                 crashed_any = true;
             }
         }
-        if crashed_any {
-            engine.crash_and_recover();
-            oracle.on_crash();
-        } else if round % 5 == 4 {
+        // Crash either on a torn transaction or periodically (clean crash).
+        if crashed_any || round % 5 == 4 {
             engine.crash_and_recover();
             oracle.on_crash();
         }

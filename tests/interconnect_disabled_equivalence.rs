@@ -18,9 +18,16 @@ use ssp::workloads::runner::{run_parallel, ExecMode, ParallelRun, RunConfig};
 use ssp::workloads::{KeyDist, Sps};
 use ssp::SspConfig;
 
+/// Observables of one engine run: formatted stats, elapsed cycles, total
+/// NVRAM writes, per-shard post-recovery fingerprints.
+type Observation = (String, u64, u64, Vec<u64>);
+
+/// Per-worker engine factory, boxed for the table of engines under test.
+type EngineFactory = Box<dyn Fn(MachineConfig) -> Box<dyn TxnEngine> + Sync>;
+
 /// Runs each of the three engines over a small sharded SPS workload and
 /// returns the observable measurements per engine.
-fn measure(interconnect: InterconnectConfig, threads: usize) -> Vec<(String, u64, u64, Vec<u64>)> {
+fn measure(interconnect: InterconnectConfig, threads: usize) -> Vec<Observation> {
     let mut shard = MachineConfig::default().shard_slice(threads);
     shard.interconnect = interconnect;
     let run_cfg = RunConfig {
@@ -31,7 +38,7 @@ fn measure(interconnect: InterconnectConfig, threads: usize) -> Vec<(String, u64
         mode: ExecMode::Threaded,
     };
 
-    let mks: Vec<Box<dyn Fn(MachineConfig) -> Box<dyn TxnEngine> + Sync>> = vec![
+    let mks: Vec<EngineFactory> = vec![
         Box::new(|cfg| Box::new(Ssp::new(cfg, SspConfig::default()))),
         Box::new(|cfg| Box::new(UndoLog::new(cfg))),
         Box::new(|cfg| Box::new(RedoLog::new(cfg))),
@@ -64,9 +71,8 @@ fn measure(interconnect: InterconnectConfig, threads: usize) -> Vec<(String, u64
 
 /// The PR-2 reference per thread count — independent of the fuzzed knobs,
 /// so computed once for the whole property rather than once per case.
-fn baseline(threads: usize) -> &'static Vec<(String, u64, u64, Vec<u64>)> {
-    static BASELINES: std::sync::OnceLock<Vec<Vec<(String, u64, u64, Vec<u64>)>>> =
-        std::sync::OnceLock::new();
+fn baseline(threads: usize) -> &'static Vec<Observation> {
+    static BASELINES: std::sync::OnceLock<Vec<Vec<Observation>>> = std::sync::OnceLock::new();
     let all = BASELINES.get_or_init(|| {
         [1usize, 2, 4]
             .iter()

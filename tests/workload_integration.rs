@@ -29,9 +29,8 @@ fn rbtree_torture<E: TxnEngine>(engine: &mut E, seed: u64) {
     for i in 0..250 {
         let key = rng.gen_range(0..120u64);
         engine.begin(C0);
-        if model.contains_key(&key) {
+        if model.remove(&key).is_some() {
             assert!(tree.remove(engine, C0, key));
-            model.remove(&key);
         } else {
             tree.insert(engine, C0, key, key + 5);
             model.insert(key, key + 5);
@@ -80,9 +79,8 @@ fn btree_torture<E: TxnEngine>(engine: &mut E, seed: u64) {
     for i in 0..300 {
         let key = rng.gen_range(0..150u64);
         engine.begin(C0);
-        if model.contains_key(&key) {
+        if model.remove(&key).is_some() {
             assert!(tree.remove(engine, C0, key));
-            model.remove(&key);
         } else {
             tree.insert(engine, C0, key, key * 3);
             model.insert(key, key * 3);
@@ -127,9 +125,8 @@ fn hash_torture<E: TxnEngine>(engine: &mut E, seed: u64) {
     for i in 0..300 {
         let key = rng.gen_range(0..100u64);
         engine.begin(C0);
-        if model.contains_key(&key) {
+        if model.remove(&key).is_some() {
             assert!(table.remove(engine, C0, key));
-            model.remove(&key);
         } else {
             table.insert(engine, C0, key, key ^ 0x77);
             model.insert(key, key ^ 0x77);
@@ -184,11 +181,15 @@ const EXPECTED_CONSOLIDATED_PAGES: u64 = 0;
 fn rbtree_on_ssp_with_small_tlb_and_fallback_pressure() {
     // All the hard paths at once: tiny TLB (constant consolidation), tiny
     // write-set buffer (fall-back), aggressive checkpoints.
-    let mut cfg = MachineConfig::default();
-    cfg.dtlb_entries = 4;
-    let mut ssp_cfg = SspConfig::default();
-    ssp_cfg.write_set_capacity = 2;
-    ssp_cfg.checkpoint_threshold_bytes = 512;
+    let cfg = MachineConfig {
+        dtlb_entries: 4,
+        ..MachineConfig::default()
+    };
+    let ssp_cfg = SspConfig {
+        write_set_capacity: 2,
+        checkpoint_threshold_bytes: 512,
+        ..SspConfig::default()
+    };
     let mut e = Ssp::new(cfg, ssp_cfg);
     rbtree_torture(&mut e, SNAPSHOT_SEED);
     // Exact-value snapshots (not `> 0`): these counters are the canary
