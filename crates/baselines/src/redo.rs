@@ -10,27 +10,24 @@
 //! the same core may have to wait for the drain (the paper's observation
 //! that committing redundant writes still delays dependent transactions).
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use ssp_simulator::addr::{PhysAddr, VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
-use ssp_txn::engine::{line_spans, TxnEngine, TxnStats, WriteSetTracker};
+use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
 use ssp_txn::vm::{NvLayout, VmManager};
 
 use crate::common::{CommitRegister, CoreLog, LogEntry};
 
+/// Per-core open-transaction marker. The write-set map, overflow buffer
+/// and tracker live in per-core engine fields, reused across transactions
+/// so the steady state allocates nothing.
 #[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u64,
-    /// Write-set lines (physical line base → virtual line base).
-    lines: HashMap<u64, u64>,
-    /// TX lines evicted from the cache mid-transaction (line base → data).
-    overflow: HashMap<u64, [u8; LINE_SIZE]>,
-    tracker: WriteSetTracker,
 }
 
 /// The hardware redo-logging engine.
@@ -62,6 +59,16 @@ pub struct RedoLog {
     logs: Vec<CoreLog>,
     commits: Vec<CommitRegister>,
     open: Vec<Option<OpenTxn>>,
+    /// Per-core write-set lines (physical line base → virtual line base),
+    /// cleared (capacity kept) at commit/abort.
+    lines: Vec<FxHashMap<u64, u64>>,
+    /// Per-core TX lines evicted from the cache mid-transaction
+    /// (line base → data).
+    overflow: Vec<FxHashMap<u64, [u8; LINE_SIZE]>>,
+    /// Per-core write-set trackers, reused across transactions.
+    trackers: Vec<WriteSetTracker>,
+    /// Reusable commit scratch: the write-set lines sorted for draining.
+    scratch_lines: Vec<(u64, u64)>,
     /// Per-core absolute cycle time until which the post-commit data drain
     /// occupies the persist path.
     drain_until: Vec<u64>,
@@ -81,6 +88,10 @@ impl RedoLog {
             logs: (0..cores).map(|c| CoreLog::new(layout, c)).collect(),
             commits: (0..cores).map(|c| CommitRegister::new(layout, c)).collect(),
             open: (0..cores).map(|_| None).collect(),
+            lines: (0..cores).map(|_| FxHashMap::default()).collect(),
+            overflow: (0..cores).map(|_| FxHashMap::default()).collect(),
+            trackers: (0..cores).map(|_| WriteSetTracker::new()).collect(),
+            scratch_lines: Vec::new(),
             drain_until: vec![0; cores],
             stats: TxnStats::default(),
             next_tid: 1,
@@ -116,10 +127,11 @@ impl RedoLog {
     /// from the coalesced final value anyway).
     fn handle_tx_evictions(&mut self, core: CoreId, evictions: Vec<TxEviction>) {
         for ev in evictions {
-            let txn = self.open[core.index()]
-                .as_mut()
-                .expect("TX eviction outside a transaction");
-            txn.overflow.insert(ev.line.line_base().raw(), ev.data);
+            assert!(
+                self.open[core.index()].is_some(),
+                "TX eviction outside a transaction"
+            );
+            self.overflow[core.index()].insert(ev.line.line_base().raw(), ev.data);
         }
     }
 
@@ -128,38 +140,21 @@ impl RedoLog {
         let line = paddr.line_base();
         // If this line previously overflowed, restore it into the cache
         // first so the patch lands on the full speculative image.
-        let overflowed = self.open[core.index()]
-            .as_ref()
-            .expect("open txn")
-            .overflow
-            .get(&line.raw())
-            .copied();
+        debug_assert!(self.open[core.index()].is_some(), "open txn");
+        let overflowed = self.overflow[core.index()].get(&line.raw()).copied();
         if let Some(image) = overflowed {
             let r = self.machine.write(core, line, &image, true);
             self.handle_tx_evictions(core, r.tx_evictions);
-            self.open[core.index()]
-                .as_mut()
-                .expect("open txn")
-                .overflow
-                .remove(&line.raw());
+            self.overflow[core.index()].remove(&line.raw());
         }
         let r = self.machine.write(core, paddr, data, true);
         self.handle_tx_evictions(core, r.tx_evictions);
-        self.open[core.index()]
-            .as_mut()
-            .expect("open txn")
-            .lines
-            .insert(line.raw(), addr.line_base().raw());
+        self.lines[core.index()].insert(line.raw(), addr.line_base().raw());
     }
 
     /// Reads the current speculative image of a write-set line.
     fn line_image(&mut self, core: CoreId, line: PhysAddr) -> [u8; LINE_SIZE] {
-        if let Some(img) = self.open[core.index()]
-            .as_ref()
-            .expect("open txn")
-            .overflow
-            .get(&line.raw())
-        {
+        if let Some(img) = self.overflow[core.index()].get(&line.raw()) {
             return *img;
         }
         let mut buf = [0u8; LINE_SIZE];
@@ -195,24 +190,17 @@ impl TxnEngine for RedoLog {
         );
         let tid = self.next_tid;
         self.next_tid += 1;
-        self.open[core.index()] = Some(OpenTxn {
-            tid,
-            lines: HashMap::new(),
-            overflow: HashMap::new(),
-            tracker: WriteSetTracker::new(),
-        });
+        self.open[core.index()] = Some(OpenTxn { tid });
         self.machine.add_cycles(core, 10);
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
-        let spans: Vec<_> = line_spans(addr, buf.len()).collect();
-        for span in spans {
+        for span in line_spans(addr, buf.len()) {
             let paddr = self.paddr_of(core, span.addr);
             // Serve from the overflow buffer if the line spilled.
-            let spilled = self.open[core.index()]
-                .as_ref()
-                .and_then(|t| t.overflow.get(&paddr.line_base().raw()))
+            let spilled = self.overflow[core.index()]
+                .get(&paddr.line_base().raw())
                 .copied();
             if let Some(img) = spilled {
                 let off = paddr.line_offset();
@@ -235,13 +223,8 @@ impl TxnEngine for RedoLog {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
-        self.open[core.index()]
-            .as_mut()
-            .expect("open txn")
-            .tracker
-            .record(addr, data.len());
-        let spans: Vec<_> = line_spans(addr, data.len()).collect();
-        for span in spans {
+        self.trackers[core.index()].record(addr, data.len());
+        for span in line_spans(addr, data.len()) {
             self.store_line(
                 core,
                 span.addr,
@@ -251,14 +234,19 @@ impl TxnEngine for RedoLog {
     }
 
     fn commit(&mut self, core: CoreId) {
-        let txn = self.open[core.index()]
+        let tid = self.open[core.index()]
             .as_ref()
-            .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
-        let tid = txn.tid;
+            .unwrap_or_else(|| panic!("commit without an open transaction on {core}"))
+            .tid;
         // Sorted: the map's hash order varies per instance, and drain
-        // order reaches the row-buffer model (determinism contract).
-        let mut lines: Vec<(u64, u64)> = txn.lines.iter().map(|(&p, &v)| (p, v)).collect();
-        lines.sort_unstable_by_key(|&(p, _)| p);
+        // order reaches the row-buffer model (determinism contract). The
+        // sort runs in an engine-owned scratch vector (no per-commit
+        // allocation).
+        let lines = sorted_scratch(
+            &mut self.scratch_lines,
+            self.lines[core.index()].iter().map(|(&p, &v)| (p, v)),
+            |&(p, _)| p,
+        );
 
         // An earlier transaction's data drain must finish before this
         // commit's log can persist (log order).
@@ -289,11 +277,11 @@ impl TxnEngine for RedoLog {
 
         // 3. Post-commit data drain: write the speculative lines home.
         //    Functionally now; latency-wise it only extends drain_until.
-        let mut txn = self.open[core.index()].take().expect("open txn");
+        let _txn = self.open[core.index()].take().expect("open txn");
         let mut drain_cycles = 0u64;
         for &(pline, _) in &lines {
             let line = PhysAddr::new(pline);
-            if let Some(img) = txn.overflow.remove(&pline) {
+            if let Some(img) = self.overflow[core.index()].remove(&pline) {
                 self.machine
                     .persist_bytes(None, line, &img, WriteClass::Data);
                 drain_cycles += 740 / mlp;
@@ -312,21 +300,27 @@ impl TxnEngine for RedoLog {
         self.drain_until[core.index()] = start + drain_cycles;
 
         self.logs[core.index()].truncate();
-        txn.tracker.fold_commit(&mut self.stats);
+        self.scratch_lines = lines;
+        self.lines[core.index()].clear();
+        self.overflow[core.index()].clear();
+        self.trackers[core.index()].fold_commit(&mut self.stats);
     }
 
     fn abort(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let _txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
-        for &pline in txn.lines.keys() {
+        let lines = std::mem::take(&mut self.lines[core.index()]);
+        for &pline in lines.keys() {
             // Speculative lines never reached home: dropping them restores
             // the committed state.
             self.machine.discard_line(PhysAddr::new(pline));
         }
-        txn.overflow.clear();
+        self.lines[core.index()] = lines;
+        self.lines[core.index()].clear();
+        self.overflow[core.index()].clear();
         self.logs[core.index()].truncate();
-        txn.tracker.fold_abort(&mut self.stats);
+        self.trackers[core.index()].fold_abort(&mut self.stats);
     }
 
     fn crash(&mut self) {
@@ -336,6 +330,15 @@ impl TxnEngine for RedoLog {
         }
         for o in &mut self.open {
             *o = None;
+        }
+        for l in &mut self.lines {
+            l.clear();
+        }
+        for o in &mut self.overflow {
+            o.clear();
+        }
+        for t in &mut self.trackers {
+            t.clear();
         }
         for d in &mut self.drain_until {
             *d = 0;

@@ -7,27 +7,24 @@
 //! Commit flushes the dirty shadow lines, journals the `(vpn → shadow)`
 //! remap list with a commit mark, and atomically repoints the page table.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use ssp_simulator::addr::{LineIdx, PhysAddr, Ppn, VirtAddr, Vpn};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
-use ssp_txn::engine::{line_spans, TxnEngine, TxnStats, WriteSetTracker};
+use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
 use ssp_txn::vm::{NvLayout, VmManager, SHADOW_PAGES};
 
 use crate::common::{CommitRegister, CoreLog, LogEntry};
 
+/// Per-core open-transaction marker. The shadow map, dirty-line list and
+/// tracker live in per-core engine fields, reused across transactions so
+/// the steady state allocates nothing.
 #[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u64,
-    /// vpn → shadow frame for pages CoW'd by this transaction.
-    shadows: HashMap<u64, Ppn>,
-    /// Distinct lines actually written (flushed at commit).
-    dirty_lines: Vec<PhysAddr>,
-    tracker: WriteSetTracker,
 }
 
 /// The conventional shadow-paging engine.
@@ -61,6 +58,15 @@ pub struct ShadowPaging {
     logs: Vec<CoreLog>,
     commits: Vec<CommitRegister>,
     open: Vec<Option<OpenTxn>>,
+    /// Per-core vpn → shadow frame for pages CoW'd by the open
+    /// transaction (cleared, capacity kept, at commit/abort).
+    shadows: Vec<FxHashMap<u64, Ppn>>,
+    /// Per-core distinct lines actually written (flushed at commit).
+    dirty_lines: Vec<Vec<PhysAddr>>,
+    /// Per-core write-set trackers, reused across transactions.
+    trackers: Vec<WriteSetTracker>,
+    /// Reusable commit/abort scratch: the remap list sorted by VPN.
+    scratch_remaps: Vec<(u64, Ppn)>,
     free_frames: Vec<Ppn>,
     stats: TxnStats,
     next_tid: u64,
@@ -82,6 +88,10 @@ impl ShadowPaging {
             logs: (0..cores).map(|c| CoreLog::new(layout, c)).collect(),
             commits: (0..cores).map(|c| CommitRegister::new(layout, c)).collect(),
             open: (0..cores).map(|_| None).collect(),
+            shadows: (0..cores).map(|_| FxHashMap::default()).collect(),
+            dirty_lines: (0..cores).map(|_| Vec::new()).collect(),
+            trackers: (0..cores).map(|_| WriteSetTracker::new()).collect(),
+            scratch_remaps: Vec::new(),
             free_frames,
             stats: TxnStats::default(),
             next_tid: 1,
@@ -104,9 +114,9 @@ impl ShadowPaging {
     /// Resolves an address, honouring the transaction's shadow mappings.
     fn resolve(&mut self, core: CoreId, addr: VirtAddr) -> PhysAddr {
         let home = self.translate(core, addr.vpn());
-        let ppn = self.open[core.index()]
-            .as_ref()
-            .and_then(|t| t.shadows.get(&addr.vpn().raw()).copied())
+        let ppn = self.shadows[core.index()]
+            .get(&addr.vpn().raw())
+            .copied()
             .unwrap_or(home);
         PhysAddr::new(ppn.base().raw() + addr.page_offset() as u64)
     }
@@ -140,31 +150,25 @@ impl ShadowPaging {
                 (cfg.ns_to_cycles(cfg.nvram.read_ns) + cfg.ns_to_cycles(cfg.nvram.write_ns)) / mlp;
             self.machine.add_cycles(core, cycles.max(1));
         }
-        self.open[core.index()]
-            .as_mut()
-            .expect("open txn")
-            .shadows
-            .insert(vpn.raw(), shadow);
+        debug_assert!(self.open[core.index()].is_some(), "open txn");
+        self.shadows[core.index()].insert(vpn.raw(), shadow);
         shadow
     }
 
     fn store_line(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
         let vpn = addr.vpn();
-        let shadowed = self.open[core.index()]
-            .as_ref()
-            .expect("open txn")
-            .shadows
-            .contains_key(&vpn.raw());
+        debug_assert!(self.open[core.index()].is_some(), "open txn");
+        let shadowed = self.shadows[core.index()].contains_key(&vpn.raw());
         if !shadowed {
             self.cow_page(core, vpn);
         }
         let paddr = self.resolve(core, addr);
         let r = self.machine.write(core, paddr, data, false);
         self.handle_tx_evictions(r.tx_evictions);
-        let txn = self.open[core.index()].as_mut().expect("open txn");
         let line = paddr.line_base();
-        if !txn.dirty_lines.contains(&line) {
-            txn.dirty_lines.push(line);
+        let dirty = &mut self.dirty_lines[core.index()];
+        if !dirty.contains(&line) {
+            dirty.push(line);
         }
     }
 }
@@ -193,19 +197,13 @@ impl TxnEngine for ShadowPaging {
         );
         let tid = self.next_tid;
         self.next_tid += 1;
-        self.open[core.index()] = Some(OpenTxn {
-            tid,
-            shadows: HashMap::new(),
-            dirty_lines: Vec::new(),
-            tracker: WriteSetTracker::new(),
-        });
+        self.open[core.index()] = Some(OpenTxn { tid });
         self.machine.add_cycles(core, 10);
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
-        let spans: Vec<_> = line_spans(addr, buf.len()).collect();
-        for span in spans {
+        for span in line_spans(addr, buf.len()) {
             let paddr = self.resolve(core, span.addr);
             let r = self.machine.read(
                 core,
@@ -222,13 +220,8 @@ impl TxnEngine for ShadowPaging {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
-        self.open[core.index()]
-            .as_mut()
-            .expect("open txn")
-            .tracker
-            .record(addr, data.len());
-        let spans: Vec<_> = line_spans(addr, data.len()).collect();
-        for span in spans {
+        self.trackers[core.index()].record(addr, data.len());
+        for span in line_spans(addr, data.len()) {
             self.store_line(
                 core,
                 span.addr,
@@ -238,20 +231,27 @@ impl TxnEngine for ShadowPaging {
     }
 
     fn commit(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
         // 1. Persist the written shadow lines.
-        for &line in &txn.dirty_lines {
+        let dirty = std::mem::take(&mut self.dirty_lines[core.index()]);
+        for &line in &dirty {
             self.machine.flush(Some(core), line, WriteClass::Data);
         }
+        self.dirty_lines[core.index()] = dirty;
+        self.dirty_lines[core.index()].clear();
         // 2. Journal the remap list + commit mark, then repoint the page
         //    table (replayed at recovery for torn multi-page commits).
         //    Sorted by VPN: the map's hash order varies per instance, and
         //    journal order, free-list order and TLB refills all reach the
-        //    machine (determinism contract of `TxnEngine`).
-        let mut remaps: Vec<(u64, Ppn)> = txn.shadows.iter().map(|(&v, &s)| (v, s)).collect();
-        remaps.sort_unstable_by_key(|&(v, _)| v);
+        //    machine (determinism contract of `TxnEngine`). The sort runs
+        //    in an engine-owned scratch vector (no per-commit allocation).
+        let remaps = sorted_scratch(
+            &mut self.scratch_remaps,
+            self.shadows[core.index()].drain(),
+            |&(v, _)| v,
+        );
         for &(vpn_raw, shadow) in &remaps {
             let entry = LogEntry {
                 tid: txn.tid,
@@ -277,27 +277,35 @@ impl TxnEngine for ShadowPaging {
                 }
             }
         }
+        self.scratch_remaps = remaps;
         self.logs[core.index()].truncate();
-        txn.tracker.fold_commit(&mut self.stats);
+        self.trackers[core.index()].fold_commit(&mut self.stats);
     }
 
     fn abort(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let _txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
         // Sorted by VPN: recycling order decides future frame allocation,
         // and the map's hash order varies per instance.
-        let mut dropped: Vec<(u64, Ppn)> = txn.shadows.drain().collect();
-        dropped.sort_unstable_by_key(|&(v, _)| v);
-        for (_, shadow) in dropped {
+        let dropped = sorted_scratch(
+            &mut self.scratch_remaps,
+            self.shadows[core.index()].drain(),
+            |&(v, _)| v,
+        );
+        for &(_, shadow) in &dropped {
             // Shadow frames were never published: just recycle them.
             self.free_frames.push(shadow);
         }
-        for &line in &txn.dirty_lines {
+        self.scratch_remaps = dropped;
+        let dirty = std::mem::take(&mut self.dirty_lines[core.index()]);
+        for &line in &dirty {
             self.machine.discard_line(line);
         }
+        self.dirty_lines[core.index()] = dirty;
+        self.dirty_lines[core.index()].clear();
         self.logs[core.index()].truncate();
-        txn.tracker.fold_abort(&mut self.stats);
+        self.trackers[core.index()].fold_abort(&mut self.stats);
     }
 
     fn crash(&mut self) {
@@ -307,6 +315,15 @@ impl TxnEngine for ShadowPaging {
         }
         for o in &mut self.open {
             *o = None;
+        }
+        for m in &mut self.shadows {
+            m.clear();
+        }
+        for d in &mut self.dirty_lines {
+            d.clear();
+        }
+        for t in &mut self.trackers {
+            t.clear();
         }
     }
 

@@ -10,25 +10,24 @@
 //! Recovery: entries of the (single, per-core) uncommitted transaction are
 //! applied in reverse.
 
-use std::collections::HashSet;
-
+use fxhash::FxHashSet;
 use ssp_simulator::addr::{PhysAddr, VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
-use ssp_txn::engine::{line_spans, TxnEngine, TxnStats, WriteSetTracker};
+use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
 use ssp_txn::vm::{NvLayout, VmManager};
 
 use crate::common::{blocking_persist_cycles, CommitRegister, CoreLog, LogEntry};
 
+/// Per-core open-transaction marker. The logged-line set and write-set
+/// tracker live in per-core engine fields, reused across transactions so
+/// the steady state allocates nothing.
 #[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u64,
-    /// Line base physical addresses already logged this transaction.
-    logged: HashSet<u64>,
-    tracker: WriteSetTracker,
 }
 
 /// The hardware undo-logging engine.
@@ -60,6 +59,13 @@ pub struct UndoLog {
     logs: Vec<CoreLog>,
     commits: Vec<CommitRegister>,
     open: Vec<Option<OpenTxn>>,
+    /// Per-core line base addresses already logged this transaction
+    /// (cleared, capacity kept, at commit/abort).
+    logged: Vec<FxHashSet<u64>>,
+    /// Per-core write-set trackers, reused across transactions.
+    trackers: Vec<WriteSetTracker>,
+    /// Reusable commit scratch: the logged lines sorted for flushing.
+    scratch_lines: Vec<u64>,
     stats: TxnStats,
     next_tid: u64,
 }
@@ -76,6 +82,9 @@ impl UndoLog {
             logs: (0..cores).map(|c| CoreLog::new(layout, c)).collect(),
             commits: (0..cores).map(|c| CommitRegister::new(layout, c)).collect(),
             open: (0..cores).map(|_| None).collect(),
+            logged: (0..cores).map(|_| FxHashSet::default()).collect(),
+            trackers: (0..cores).map(|_| WriteSetTracker::new()).collect(),
+            scratch_lines: Vec::new(),
             stats: TxnStats::default(),
             next_tid: 1,
         }
@@ -116,9 +125,8 @@ impl UndoLog {
     fn store_line(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
         let paddr = self.paddr_of(core, addr);
         let line_base = paddr.line_base();
-        let txn = self.open[core.index()].as_ref().expect("open txn");
-        let tid = txn.tid;
-        let needs_log = !txn.logged.contains(&line_base.raw());
+        let tid = self.open[core.index()].as_ref().expect("open txn").tid;
+        let needs_log = !self.logged[core.index()].contains(&line_base.raw());
         if needs_log {
             // Read the pre-image (through the cache: it may be dirty).
             let mut old = [0u8; LINE_SIZE];
@@ -138,11 +146,7 @@ impl UndoLog {
             // (un-overlapped) persist latency.
             let stall = blocking_persist_cycles(&self.machine);
             self.machine.add_cycles(core, stall);
-            self.open[core.index()]
-                .as_mut()
-                .expect("open txn")
-                .logged
-                .insert(line_base.raw());
+            self.logged[core.index()].insert(line_base.raw());
         }
         let r = self.machine.write(core, paddr, data, false);
         self.handle_tx_evictions(r.tx_evictions);
@@ -173,18 +177,13 @@ impl TxnEngine for UndoLog {
         );
         let tid = self.next_tid;
         self.next_tid += 1;
-        self.open[core.index()] = Some(OpenTxn {
-            tid,
-            logged: HashSet::new(),
-            tracker: WriteSetTracker::new(),
-        });
+        self.open[core.index()] = Some(OpenTxn { tid });
         self.machine.add_cycles(core, 10);
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
-        let spans: Vec<_> = line_spans(addr, buf.len()).collect();
-        for span in spans {
+        for span in line_spans(addr, buf.len()) {
             let paddr = self.paddr_of(core, span.addr);
             let r = self.machine.read(
                 core,
@@ -201,13 +200,8 @@ impl TxnEngine for UndoLog {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
-        self.open[core.index()]
-            .as_mut()
-            .expect("open txn")
-            .tracker
-            .record(addr, data.len());
-        let spans: Vec<_> = line_spans(addr, data.len()).collect();
-        for span in spans {
+        self.trackers[core.index()].record(addr, data.len());
+        for span in line_spans(addr, data.len()) {
             self.store_line(
                 core,
                 span.addr,
@@ -217,27 +211,33 @@ impl TxnEngine for UndoLog {
     }
 
     fn commit(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
         // Flush the write set so the new values are durable. Sorted: the
         // set's hash order varies per instance, and flush order reaches
         // the row-buffer model (determinism contract of `TxnEngine`).
-        let mut lines: Vec<u64> = txn.logged.iter().copied().collect();
-        lines.sort_unstable();
-        for line in lines {
+        // The sort runs in an engine-owned scratch vector (no per-commit
+        // allocation).
+        let lines = sorted_scratch(
+            &mut self.scratch_lines,
+            self.logged[core.index()].drain(),
+            |&l| l,
+        );
+        for &line in &lines {
             self.machine
                 .flush(Some(core), PhysAddr::new(line), WriteClass::Data);
         }
+        self.scratch_lines = lines;
         // Atomic commit point.
         self.commits[core.index()].commit(&mut self.machine, Some(core), txn.tid);
         // The log space can be reused.
         self.logs[core.index()].truncate();
-        txn.tracker.fold_commit(&mut self.stats);
+        self.trackers[core.index()].fold_commit(&mut self.stats);
     }
 
     fn abort(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
         // Apply undo images in reverse.
@@ -249,7 +249,8 @@ impl TxnEngine for UndoLog {
             }
         }
         self.logs[core.index()].truncate();
-        txn.tracker.fold_abort(&mut self.stats);
+        self.logged[core.index()].clear();
+        self.trackers[core.index()].fold_abort(&mut self.stats);
     }
 
     fn crash(&mut self) {
@@ -259,6 +260,12 @@ impl TxnEngine for UndoLog {
         }
         for o in &mut self.open {
             *o = None;
+        }
+        for l in &mut self.logged {
+            l.clear();
+        }
+        for t in &mut self.trackers {
+            t.clear();
         }
     }
 

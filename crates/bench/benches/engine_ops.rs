@@ -95,12 +95,22 @@ fn main() {
     // Host-side microbenchmark times are pure wall-clock — everything
     // lands in the report's warn-only `host` section, so the regression
     // gate never fails on them (there is no deterministic counter here).
+    // `ns_per_iter` keeps the historical mean; `stats` adds the shim's
+    // median/min so the tracked numbers resist scheduler noise.
     let mut report =
         ssp_bench::BenchReport::new("engine_ops", std::env::var("SSP_BENCH_QUICK").is_ok());
     let mut rows = ssp_bench::json::Json::obj();
-    for (name, ns_per_iter) in c.results() {
-        rows.set(name, ssp_bench::json::Json::F64(*ns_per_iter));
+    let mut stat_rows = ssp_bench::json::Json::obj();
+    for (name, stats) in c.results() {
+        rows.set(name, ssp_bench::json::Json::F64(stats.mean_ns));
+        let mut entry = ssp_bench::json::Json::obj();
+        entry.set("mean_ns", ssp_bench::json::Json::F64(stats.mean_ns));
+        entry.set("median_ns", ssp_bench::json::Json::F64(stats.median_ns));
+        entry.set("min_ns", ssp_bench::json::Json::F64(stats.min_ns));
+        entry.set("iters", ssp_bench::json::Json::U64(stats.iters));
+        stat_rows.set(name, entry);
     }
     report.host("ns_per_iter", rows);
+    report.host("stats", stat_rows);
     report.write();
 }

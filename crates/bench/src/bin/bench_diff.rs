@@ -79,6 +79,8 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     let mut warnings = 0usize;
+    // (name, baseline wall ms, fresh wall ms) for the host-speed table.
+    let mut host_rows: Vec<(String, f64, f64)> = Vec::new();
     for name in &baseline_names {
         let fresh_path = fresh.join(name);
         if !fresh_path.exists() {
@@ -99,6 +101,18 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        let wall = |doc: &Json| {
+            doc.get("host")
+                .and_then(|h| h.get("wall_ms"))
+                .and_then(Json::as_f64)
+        };
+        if let (Some(b), Some(f)) = (wall(&base_doc), wall(&fresh_doc)) {
+            // Same positivity guard as the drift warning in diff_reports:
+            // a zero/garbage wall_ms must not put inf/NaN in the table.
+            if b > 0.0 && f > 0.0 {
+                host_rows.push((name.clone(), b, f));
+            }
+        }
         let DiffReport {
             mismatches,
             warnings: warns,
@@ -143,6 +157,37 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
+    }
+
+    // Always-on host-speed table (warn-only, like every host comparison):
+    // the per-target wall-clock trajectory stays visible in every CI run
+    // instead of surfacing only once drift crosses the 20% warning line.
+    if !host_rows.is_empty() {
+        println!("\nhost-speed (fresh / baseline wall-clock, warn-only):");
+        println!(
+            "  {:<36} {:>12} {:>12} {:>7}",
+            "target", "base ms", "fresh ms", "ratio"
+        );
+        let (mut base_total, mut fresh_total) = (0.0f64, 0.0f64);
+        for (name, base, fresh) in &host_rows {
+            let target = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+            println!(
+                "  {:<36} {:>12.1} {:>12.1} {:>6.2}x",
+                target,
+                base,
+                fresh,
+                fresh / base
+            );
+            base_total += base;
+            fresh_total += fresh;
+        }
+        println!(
+            "  {:<36} {:>12.1} {:>12.1} {:>6.2}x",
+            "total",
+            base_total,
+            fresh_total,
+            fresh_total / base_total
+        );
     }
 
     println!(

@@ -224,7 +224,7 @@ mod tests {
     fn prepare_page(rig: &mut Rig, committed: LineBitmap) -> (SlotId, u64) {
         let vpn = rig.vm.map_new_page(&mut rig.machine, CoreId::new(0));
         let ppn0 = rig.vm.translate(vpn).unwrap();
-        let holders = std::collections::HashMap::new();
+        let holders = fxhash::FxHashMap::default();
         let (sid, ppn1) = rig.cache.allocate(vpn, ppn0, &holders);
         for line in LineIdx::all() {
             if committed.get(line) {

@@ -18,15 +18,14 @@
 //! * **Fall-back** (Section 3.5): write-set-buffer overflow diverts further
 //!   updates to a software undo log, still cut by the same `CommitMark`.
 
-use std::collections::HashMap;
-
+use fxhash::{FxHashMap, FxHashSet};
 use ssp_simulator::addr::{LineIdx, PhysAddr, VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
-use ssp_txn::engine::{line_spans, TxnEngine, TxnStats, WriteSetTracker};
+use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
 use ssp_txn::vm::{NvLayout, VmManager};
 
 use crate::bitmap::LineBitmap;
@@ -37,11 +36,12 @@ use crate::journal::{MetaJournal, Record, SlotId};
 use crate::ssp_cache::SspCache;
 use crate::write_set::{WriteSetBuffer, WriteSetInsert};
 
-/// Per-core state of an open transaction.
+/// Per-core state of an open transaction. The write-set tracker lives in
+/// [`Ssp::trackers`] (per core, reused across transactions) so opening a
+/// transaction allocates nothing.
 #[derive(Debug, Clone)]
 struct OpenTxn {
     tid: u32,
-    tracker: WriteSetTracker,
     /// Lines updated in place through the fall-back path (vaddr line base).
     fallback_lines: Vec<(VirtAddr, PhysAddr)>,
     overflowed: bool,
@@ -83,12 +83,20 @@ pub struct Ssp {
     consolidator: Consolidator,
     tlbs: Vec<Tlb<()>>,
     /// vpn → bitmask of cores whose TLB maps it (the TLB reference counts).
-    tlb_holders: HashMap<u64, u64>,
+    /// Fast-hashed and never iterated.
+    tlb_holders: FxHashMap<u64, u64>,
     /// Per-core pages with in-flight fall-back (in-place) updates; they
     /// must not be consolidated until the transaction resolves.
-    fallback_pages: Vec<std::collections::HashSet<u64>>,
+    fallback_pages: Vec<FxHashSet<u64>>,
     wsets: Vec<WriteSetBuffer>,
     open: Vec<Option<OpenTxn>>,
+    /// Per-core write-set trackers, reused across transactions (cleared,
+    /// capacity kept, by the commit/abort folds).
+    trackers: Vec<WriteSetTracker>,
+    /// Reusable commit/abort scratch: the write-set pages sorted by VPN.
+    scratch_pages: Vec<(Vpn, LineBitmap)>,
+    /// Reusable commit/abort scratch: fall-back pages released, sorted.
+    scratch_released: Vec<u64>,
     stats: TxnStats,
     next_tid: u32,
     checkpoints: u64,
@@ -113,6 +121,7 @@ impl Ssp {
             .map(|_| WriteSetBuffer::new(ssp_cfg.write_set_capacity))
             .collect();
         let open = (0..cfg.cores).map(|_| None).collect();
+        let trackers = (0..cfg.cores).map(|_| WriteSetTracker::new()).collect();
         let fallback_pages = (0..cfg.cores).map(|_| Default::default()).collect();
         let journal = MetaJournal::new(layout, ssp_cfg.journal_capacity_bytes);
         Self {
@@ -124,10 +133,13 @@ impl Ssp {
             vm: VmManager::new(layout),
             ssp_cfg,
             tlbs,
-            tlb_holders: HashMap::new(),
+            tlb_holders: FxHashMap::default(),
             fallback_pages,
             wsets,
             open,
+            trackers,
+            scratch_pages: Vec::new(),
+            scratch_released: Vec::new(),
             stats: TxnStats::default(),
             next_tid: 1,
             checkpoints: 0,
@@ -193,9 +205,10 @@ impl Ssp {
         LineIdx::new(line.raw() / self.ssp_cfg.lines_per_subpage as u8)
     }
 
-    /// All cache lines tracked by bitmap bit `bit`.
-    fn subpage_lines(&self, bit: LineIdx) -> impl Iterator<Item = LineIdx> {
-        let lps = self.ssp_cfg.lines_per_subpage as u8;
+    /// All cache lines tracked by bitmap bit `bit` under
+    /// `lines_per_subpage`-line sub-pages. An associated function (not a
+    /// method) so hot loops can iterate it while holding `&mut self`.
+    fn subpage_lines(lps: u8, bit: LineIdx) -> impl Iterator<Item = LineIdx> {
         (bit.raw() * lps..(bit.raw() + 1) * lps).map(LineIdx::new)
     }
 
@@ -362,8 +375,8 @@ impl Ssp {
 
         // First write to this sub-page in the transaction: remap every
         // line of the group to the other physical page.
-        let group: Vec<LineIdx> = self.subpage_lines(bit).collect();
-        for member in group {
+        let lps = self.ssp_cfg.lines_per_subpage as u8;
+        for member in Self::subpage_lines(lps, bit) {
             let entry = self.cache.entry(sid).expect("entry exists");
             let old_line = Self::side_line_addr(entry, entry.current, bit, member);
             let new_line = {
@@ -534,9 +547,12 @@ impl TxnEngine for Ssp {
         );
         let tid = self.next_tid;
         self.next_tid += 1;
+        debug_assert!(
+            self.trackers[core.index()].is_empty(),
+            "tracker not folded by the previous transaction"
+        );
         self.open[core.index()] = Some(OpenTxn {
             tid,
-            tracker: WriteSetTracker::new(),
             fallback_lines: Vec::new(),
             overflowed: false,
         });
@@ -546,8 +562,7 @@ impl TxnEngine for Ssp {
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
-        let spans: Vec<_> = line_spans(addr, buf.len()).collect();
-        for span in spans {
+        for span in line_spans(addr, buf.len()) {
             let vpn = span.addr.vpn();
             self.translate(core, vpn);
             if self.cache.sid_of(vpn).is_some() {
@@ -571,13 +586,8 @@ impl TxnEngine for Ssp {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
-        self.open[core.index()]
-            .as_mut()
-            .expect("open txn")
-            .tracker
-            .record(addr, data.len());
-        let spans: Vec<_> = line_spans(addr, data.len()).collect();
-        for span in spans {
+        self.trackers[core.index()].record(addr, data.len());
+        for span in line_spans(addr, data.len()) {
             self.store_line(
                 core,
                 span.addr,
@@ -587,22 +597,27 @@ impl TxnEngine for Ssp {
     }
 
     fn commit(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
         let tid = txn.tid;
+        let lps = self.ssp_cfg.lines_per_subpage as u8;
 
         // 1. Data persistence: flush every write-set line at its current
         //    (speculative-side) location; never overwrites committed data.
         //    Sorted by VPN: the write-set buffer's hash order varies per
         //    instance, and flush/journal order reaches the machine
-        //    (determinism contract of `TxnEngine`).
-        let mut pages: Vec<(Vpn, LineBitmap)> = self.wsets[core.index()].iter().collect();
-        pages.sort_unstable_by_key(|&(v, _)| v.raw());
+        //    (determinism contract of `TxnEngine`). The sort runs in a
+        //    scratch vector owned by the engine so steady-state commits
+        //    allocate nothing.
+        let pages = sorted_scratch(
+            &mut self.scratch_pages,
+            self.wsets[core.index()].iter(),
+            |&(v, _)| v.raw(),
+        );
         for &(vpn, updated) in &pages {
             for bit in updated.iter_ones() {
-                let lines: Vec<LineIdx> = self.subpage_lines(bit).collect();
-                for line in lines {
+                for line in Self::subpage_lines(lps, bit) {
                     let paddr = self.current_line_addr(vpn, line);
                     self.machine.flush(Some(core), paddr, WriteClass::Data);
                     self.machine.clear_tx(paddr);
@@ -641,31 +656,39 @@ impl TxnEngine for Ssp {
         // 4. Book-keeping: write set, stats, consolidation of pages that
         //    already left every TLB, checkpointing.
         self.wsets[core.index()].clear();
-        txn.tracker.fold_commit(&mut self.stats);
-        let mut released: Vec<u64> = self.fallback_pages[core.index()].drain().collect();
-        released.sort_unstable();
-        for (vpn, _) in pages {
+        self.trackers[core.index()].fold_commit(&mut self.stats);
+        let released = sorted_scratch(
+            &mut self.scratch_released,
+            self.fallback_pages[core.index()].drain(),
+            |&r| r,
+        );
+        for &(vpn, _) in &pages {
             self.maybe_consolidate(vpn);
         }
-        for raw in released {
+        for &raw in &released {
             self.maybe_consolidate(Vpn::new(raw));
         }
+        self.scratch_pages = pages;
+        self.scratch_released = released;
         self.maybe_checkpoint();
     }
 
     fn abort(&mut self, core: CoreId) {
-        let mut txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
+        let lps = self.ssp_cfg.lines_per_subpage as u8;
 
         // Discard speculative copies and flip current bits back (sorted
         // by VPN; see the commit path).
-        let mut pages: Vec<(Vpn, LineBitmap)> = self.wsets[core.index()].iter().collect();
-        pages.sort_unstable_by_key(|&(v, _)| v.raw());
+        let pages = sorted_scratch(
+            &mut self.scratch_pages,
+            self.wsets[core.index()].iter(),
+            |&(v, _)| v.raw(),
+        );
         for &(vpn, updated) in &pages {
             for bit in updated.iter_ones() {
-                let lines: Vec<LineIdx> = self.subpage_lines(bit).collect();
-                for line in lines {
+                for line in Self::subpage_lines(lps, bit) {
                     let paddr = self.current_line_addr(vpn, line);
                     self.machine.discard_line(paddr);
                 }
@@ -693,15 +716,20 @@ impl TxnEngine for Ssp {
         }
 
         self.wsets[core.index()].clear();
-        txn.tracker.fold_abort(&mut self.stats);
-        let mut released: Vec<u64> = self.fallback_pages[core.index()].drain().collect();
-        released.sort_unstable();
-        for (vpn, _) in pages {
+        self.trackers[core.index()].fold_abort(&mut self.stats);
+        let released = sorted_scratch(
+            &mut self.scratch_released,
+            self.fallback_pages[core.index()].drain(),
+            |&r| r,
+        );
+        for &(vpn, _) in &pages {
             self.maybe_consolidate(vpn);
         }
-        for raw in released {
+        for &raw in &released {
             self.maybe_consolidate(Vpn::new(raw));
         }
+        self.scratch_pages = pages;
+        self.scratch_released = released;
     }
 
     fn crash(&mut self) {
@@ -718,6 +746,9 @@ impl TxnEngine for Ssp {
         }
         for o in &mut self.open {
             *o = None;
+        }
+        for t in &mut self.trackers {
+            t.clear();
         }
     }
 

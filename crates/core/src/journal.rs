@@ -272,10 +272,17 @@ impl MetaJournal {
             self.head + len <= self.capacity,
             "metadata journal ring overflow; checkpoint was not run"
         );
-        let buf = std::mem::take(&mut self.buffer);
-        machine.persist_bytes(core, self.addr(self.head), &buf, WriteClass::MetaJournal);
+        // Drain in place (not `mem::take`) so the append buffer keeps its
+        // allocation: steady-state commits stop allocating per flush.
+        machine.persist_bytes(
+            core,
+            self.addr(self.head),
+            &self.buffer,
+            WriteClass::MetaJournal,
+        );
         self.head += len;
-        buf.len()
+        self.buffer.clear();
+        len as usize
     }
 
     /// Truncates the journal after a checkpoint: rewinds to offset zero

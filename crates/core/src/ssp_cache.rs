@@ -16,8 +16,7 @@
 //! `l3_entries` slots hit at L3 latency, everything else pays a DRAM
 //! access; Figure 9's sweep overrides this with a fixed latency.
 
-use std::collections::HashMap;
-
+use fxhash::{FxHashMap, FxHashSet};
 use ssp_simulator::addr::{PhysAddr, Ppn, Vpn};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::machine::Machine;
@@ -85,13 +84,17 @@ struct Slot {
 pub struct SspCache {
     layout: NvLayout,
     slots: Vec<Slot>,
-    by_vpn: HashMap<u64, SlotId>,
+    /// Fast-hashed: `sid_of` runs on every transactional load/store and
+    /// the map is never iterated.
+    by_vpn: FxHashMap<u64, SlotId>,
     /// MRU-first recency order of slot ids, for the L3-slice latency model.
     recency: Vec<SlotId>,
     l3_entries: usize,
     meta_latency_override: Option<u64>,
     /// Slots whose persistent image is stale (need checkpointing).
-    dirty: std::collections::HashSet<SlotId>,
+    dirty: FxHashSet<SlotId>,
+    /// Reusable checkpoint scratch (the sorted drain of `dirty`).
+    checkpoint_scratch: Vec<SlotId>,
     /// Slots that grew beyond the initial sizing (capacity pressure stat).
     grown: usize,
 }
@@ -109,11 +112,12 @@ impl SspCache {
         Self {
             layout,
             slots: slots_vec,
-            by_vpn: HashMap::new(),
+            by_vpn: FxHashMap::default(),
             recency: Vec::new(),
             l3_entries: ssp_cfg.ssp_cache_l3_entries,
             meta_latency_override: ssp_cfg.meta_latency_override,
-            dirty: std::collections::HashSet::new(),
+            dirty: FxHashSet::default(),
+            checkpoint_scratch: Vec::new(),
             grown: 0,
         }
     }
@@ -169,10 +173,12 @@ impl SspCache {
     }
 
     fn touch(&mut self, sid: SlotId) {
-        if let Some(pos) = self.recency.iter().position(|&s| s == sid) {
-            self.recency.remove(pos);
+        match self.recency.iter().position(|&s| s == sid) {
+            // One rotate instead of remove + insert: same order, no shift
+            // of the whole tail twice.
+            Some(pos) => self.recency[..=pos].rotate_right(1),
+            None => self.recency.insert(0, sid),
         }
-        self.recency.insert(0, sid);
     }
 
     /// Allocates a slot for `vpn` (which currently maps to `ppn0`). Prefers
@@ -184,7 +190,7 @@ impl SspCache {
         &mut self,
         vpn: Vpn,
         ppn0: Ppn,
-        tlb_holders: &HashMap<u64, u64>,
+        tlb_holders: &FxHashMap<u64, u64>,
     ) -> (SlotId, Ppn) {
         debug_assert!(self.sid_of(vpn).is_none(), "page already has a slot");
         let sid = self
@@ -318,15 +324,20 @@ impl SspCache {
     /// step) and returns how many slots were written.
     pub fn checkpoint(&mut self, machine: &mut Machine) -> usize {
         // Sorted: the set's hash order varies per instance, and the
-        // checkpoint's persist order reaches the row-buffer model.
-        let mut dirty: Vec<SlotId> = self.dirty.drain().collect();
+        // checkpoint's persist order reaches the row-buffer model. The
+        // drain goes through a reusable scratch vector so periodic
+        // checkpoints stop allocating.
+        let mut dirty = std::mem::take(&mut self.checkpoint_scratch);
+        dirty.clear();
+        dirty.extend(self.dirty.drain());
         dirty.sort_unstable();
         let count = dirty.len();
-        for sid in dirty {
+        for &sid in &dirty {
             let addr = self.slot_addr(sid);
             let image = self.encode_slot(sid);
             machine.persist_bytes(None, addr, &image, WriteClass::Checkpoint);
         }
+        self.checkpoint_scratch = dirty;
         count
     }
 
@@ -419,7 +430,7 @@ mod tests {
     #[test]
     fn allocate_assigns_distinct_spares() {
         let (_, mut cache) = setup(4);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, p1) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         let (s2, p2) = cache.allocate(vpn(2), Ppn::new(1001), &holders);
         assert_ne!(s1, s2);
@@ -431,7 +442,7 @@ mod tests {
     #[test]
     fn allocate_evicts_consolidated_entries() {
         let (_, mut cache) = setup(1);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         // Entry is consolidated (committed == 0) and unreferenced, so it can
         // be replaced.
@@ -444,7 +455,7 @@ mod tests {
     #[test]
     fn allocate_grows_when_entries_are_live() {
         let (_, mut cache) = setup(1);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         cache.entry_mut(s1).unwrap().committed = LineBitmap::from_raw(1);
         let (s2, _) = cache.allocate(vpn(2), Ppn::new(1001), &holders);
@@ -456,7 +467,7 @@ mod tests {
     #[test]
     fn tlb_held_entries_are_not_evicted() {
         let (_, mut cache) = setup(1);
-        let mut holders = HashMap::new();
+        let mut holders = FxHashMap::default();
         let (_, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         holders.insert(vpn(1).raw(), 0b1); // core 0 still maps it
         let (s2, _) = cache.allocate(vpn(2), Ppn::new(1001), &holders);
@@ -472,7 +483,7 @@ mod tests {
             ..SspConfig::default()
         };
         let mut cache = SspCache::new(NvLayout::default(), 4, &ssp_cfg);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         let (s2, _) = cache.allocate(vpn(2), Ppn::new(1001), &holders);
         // First access: cold (not in recency window) -> DRAM.
@@ -492,7 +503,7 @@ mod tests {
             ..SspConfig::default()
         };
         let mut cache = SspCache::new(NvLayout::default(), 4, &ssp_cfg);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         assert_eq!(cache.access_cycles(s1, &cfg), 140);
         assert_eq!(cache.access_cycles(s1, &cfg), 140);
@@ -501,7 +512,7 @@ mod tests {
     #[test]
     fn checkpoint_and_recover_round_trip() {
         let (mut m, mut cache) = setup(4);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         cache.entry_mut(s1).unwrap().committed = LineBitmap::from_raw(0xdead);
         cache.entry_mut(s1).unwrap().current = LineBitmap::from_raw(0xffff);
@@ -523,7 +534,7 @@ mod tests {
     #[test]
     fn checkpoint_writes_are_counted() {
         let (mut m, mut cache) = setup(2);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (_, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         cache.checkpoint(&mut m);
         assert!(m.stats().nvram_writes(WriteClass::Checkpoint) >= 1);
@@ -532,14 +543,14 @@ mod tests {
     #[test]
     fn spare_page_survives_eviction() {
         let (mut m, mut cache) = setup(1);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, spare1) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         cache.evict(s1);
         cache.checkpoint(&mut m);
         m.crash();
         let mut cache2 = SspCache::new(NvLayout::default(), 1, &SspConfig::default());
         cache2.recover(&m, 1);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (_, spare2) = cache2.allocate(vpn(2), Ppn::new(1001), &holders);
         assert_eq!(spare1, spare2);
     }
@@ -548,7 +559,7 @@ mod tests {
     #[should_panic(expected = "live SSP cache entry")]
     fn evicting_live_entry_panics() {
         let (_, mut cache) = setup(1);
-        let holders = HashMap::new();
+        let holders = FxHashMap::default();
         let (s1, _) = cache.allocate(vpn(1), Ppn::new(1000), &holders);
         cache.entry_mut(s1).unwrap().committed = LineBitmap::from_raw(2);
         cache.evict(s1);

@@ -7,8 +7,7 @@
 //! Bit positions are *tracking units*: individual cache lines in the base
 //! design, sub-page groups under the Section 4.3 coarser granularities.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use ssp_simulator::addr::{LineIdx, Vpn};
 
 use crate::bitmap::LineBitmap;
@@ -26,10 +25,14 @@ pub enum WriteSetInsert {
 }
 
 /// A fixed-capacity map from virtual page to updated-lines bitmap.
+///
+/// Fast-hashed: `record`/`contains` run once per `ATOMIC_STORE`, and every
+/// consumer of [`iter`](Self::iter) sorts before the data can reach the
+/// machine, so the hasher never shows up in simulated behavior.
 #[derive(Debug, Clone)]
 pub struct WriteSetBuffer {
     capacity: usize,
-    pages: HashMap<u64, LineBitmap>,
+    pages: FxHashMap<u64, LineBitmap>,
 }
 
 impl WriteSetBuffer {
@@ -42,7 +45,7 @@ impl WriteSetBuffer {
         assert!(capacity > 0, "write-set buffer capacity must be positive");
         Self {
             capacity,
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
         }
     }
 

@@ -6,10 +6,12 @@
 //! [`criterion_main!`] macros.
 //!
 //! Instead of criterion's statistical machinery, each benchmark is warmed
-//! up briefly and then timed over enough iterations to fill a fixed
-//! measurement window; the mean time per iteration is printed in a
-//! criterion-like one-line format. Good enough for relative comparisons
-//! and for keeping `cargo bench` wired up end to end.
+//! up briefly and then timed over batches of doubling size until a fixed
+//! measurement window fills. Each batch yields one per-iteration sample;
+//! the reported [`BenchStats`] carry the **median** and **minimum** over
+//! those samples next to the mean, so one scheduler hiccup inside a batch
+//! no longer moves the headline number. Good enough for relative
+//! comparisons and for keeping `cargo bench` wired up end to end.
 
 #![warn(missing_docs)]
 
@@ -20,11 +22,29 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+///
+/// A shim extension (the real criterion keeps its statistics internal):
+/// `median_ns`/`min_ns` are computed over the per-batch samples, so they
+/// resist one-sided noise (preemption, frequency dips) that inflates the
+/// mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Mean over all iterations (total elapsed / total iters).
+    pub mean_ns: f64,
+    /// Median of the per-batch per-iteration samples.
+    pub median_ns: f64,
+    /// Minimum of the per-batch per-iteration samples (best observed).
+    pub min_ns: f64,
+}
+
 /// Runs one benchmark body repeatedly ([`Criterion::bench_function`]).
 pub struct Bencher {
     warmup: Duration,
     measure: Duration,
-    result: Option<(u64, Duration)>,
+    result: Option<BenchStats>,
 }
 
 impl Bencher {
@@ -35,20 +55,42 @@ impl Bencher {
         while start.elapsed() < self.warmup {
             black_box(body());
         }
-        // Measurement: batches of doubling size until the window is full.
+        // Measurement: batches of doubling size until the window is full;
+        // every batch contributes one per-iteration sample.
         let mut iters: u64 = 0;
         let mut elapsed = Duration::ZERO;
         let mut batch: u64 = 1;
+        let mut samples: Vec<f64> = Vec::new();
         while elapsed < self.measure {
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(body());
             }
-            elapsed += t0.elapsed();
+            let batch_elapsed = t0.elapsed();
+            samples.push(batch_elapsed.as_nanos() as f64 / batch as f64);
+            elapsed += batch_elapsed;
             iters += batch;
             batch = batch.saturating_mul(2).min(1 << 20);
         }
-        self.result = Some((iters, elapsed));
+        if iters == 0 {
+            self.result = None;
+            return;
+        }
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median_ns = {
+            let n = samples.len();
+            if n % 2 == 1 {
+                samples[n / 2]
+            } else {
+                (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+            }
+        };
+        self.result = Some(BenchStats {
+            iters,
+            mean_ns: elapsed.as_nanos() as f64 / iters as f64,
+            median_ns,
+            min_ns: samples[0],
+        });
     }
 }
 
@@ -56,7 +98,7 @@ impl Bencher {
 pub struct Criterion {
     warmup: Duration,
     measure: Duration,
-    results: Vec<(String, f64)>,
+    results: Vec<(String, BenchStats)>,
 }
 
 impl Default for Criterion {
@@ -82,7 +124,8 @@ impl Criterion {
         self
     }
 
-    /// Benchmarks `body` under `name` and prints the mean iteration time.
+    /// Benchmarks `body` under `name` and prints its median / minimum /
+    /// mean per-iteration times.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
         let mut b = Bencher {
             warmup: self.warmup,
@@ -91,23 +134,25 @@ impl Criterion {
         };
         body(&mut b);
         match b.result {
-            Some((iters, elapsed)) if iters > 0 => {
-                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            Some(stats) => {
                 println!(
-                    "{name:<40} time: [{} per iter, {iters} iters]",
-                    fmt_ns(per_iter)
+                    "{name:<40} time: [median {}, min {}, mean {}; {} iters]",
+                    fmt_ns(stats.median_ns),
+                    fmt_ns(stats.min_ns),
+                    fmt_ns(stats.mean_ns),
+                    stats.iters
                 );
-                self.results.push((name.to_string(), per_iter));
+                self.results.push((name.to_string(), stats));
             }
-            _ => println!("{name:<40} time: [no iterations recorded]"),
+            None => println!("{name:<40} time: [no iterations recorded]"),
         }
         self
     }
 
-    /// Mean nanoseconds per iteration of every completed benchmark, in
-    /// run order — a shim extension so harness-less targets can export
-    /// their measurements (the real criterion writes JSON itself).
-    pub fn results(&self) -> &[(String, f64)] {
+    /// Per-iteration statistics of every completed benchmark, in run
+    /// order — a shim extension so harness-less targets can export their
+    /// measurements (the real criterion writes JSON itself).
+    pub fn results(&self) -> &[(String, BenchStats)] {
         &self.results
     }
 }
@@ -157,6 +202,37 @@ mod tests {
         let mut n = 0u64;
         c.bench_function("noop", |b| b.iter(|| n = n.wrapping_add(1)));
         assert!(n > 0);
+        let (name, stats) = &c.results()[0];
+        assert_eq!(name, "noop");
+        assert!(stats.iters > 0);
+        // Ordering invariant of the summary statistics.
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.min_ns > 0.0);
+    }
+
+    #[test]
+    fn median_resists_one_sided_outliers() {
+        // A body that is slow exactly once: the mean moves, the median and
+        // min stay near the fast iterations.
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_millis(10));
+        let mut first = true;
+        c.bench_function("spiky", |b| {
+            b.iter(|| {
+                if first {
+                    first = false;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        });
+        let (_, stats) = &c.results()[0];
+        assert!(
+            stats.median_ns < stats.mean_ns,
+            "median {} should sit below the outlier-inflated mean {}",
+            stats.median_ns,
+            stats.mean_ns
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! # fxhash (offline shim)
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of the `fxhash` API the workspace uses: [`FxHasher`],
+//! [`FxBuildHasher`], the [`FxHashMap`]/[`FxHashSet`] aliases and the
+//! [`hash64`] convenience function.
+//!
+//! The algorithm is the multiply-rotate hash rustc and Firefox use
+//! ("FxHash"): each 8-byte chunk of input is folded in with
+//! `hash = (hash.rotate_left(5) ^ chunk) * SEED`. It is **not** resistant
+//! to hash-flooding — fine here, where every key is a trusted simulator
+//! address or slot id and the std `SipHash` default was measured as pure
+//! overhead on the cache/directory hot path.
+//!
+//! Unlike the real crate (which hashes in `usize` chunks), this shim folds
+//! in fixed 64-bit chunks so hashes are identical on 32- and 64-bit hosts;
+//! nothing in the workspace depends on the concrete hash values, so the
+//! registry swap stays a `[workspace.dependencies]` one-liner.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A speed-oriented, non-cryptographic [`Hasher`] (the rustc algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value to 64 bits with [`FxHasher`].
+pub fn hash64<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&2997));
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert!(s.contains(&42) && !s.contains(&100));
+    }
+
+    #[test]
+    fn hash64_is_deterministic_and_spreads() {
+        assert_eq!(hash64(&123u64), hash64(&123u64));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        // Sequential keys must not collapse to sequential buckets: check a
+        // crude spread over the low byte.
+        let distinct: FxHashSet<u8> = (0..64u64).map(|i| hash64(&i) as u8).collect();
+        assert!(distinct.len() > 32);
+    }
+
+    #[test]
+    fn write_paths_agree_on_8_byte_input() {
+        let a = hash64(&0xdead_beef_0badu64);
+        let mut h = FxHasher::default();
+        h.write(&0xdead_beef_0badu64.to_le_bytes());
+        assert_eq!(a, h.finish());
+    }
+}

@@ -110,13 +110,22 @@ impl Machine {
     }
 
     /// Drains the memory events recorded since the last drain (empty
-    /// unless [`InterconnectConfig::enabled`] is set). The driver feeds
-    /// these to [`Interconnect::arbitrate`] at epoch boundaries.
+    /// unless [`InterconnectConfig::enabled`] is set) into `buf`, which
+    /// is cleared first; the machine records the next epoch into `buf`'s
+    /// old backing store, so two buffers ping-pong per shard and the
+    /// epoch drain allocates nothing. The driver feeds the drained
+    /// streams to [`Interconnect::arbitrate`] at epoch boundaries.
     ///
     /// [`InterconnectConfig::enabled`]: crate::config::InterconnectConfig::enabled
     /// [`Interconnect::arbitrate`]: crate::interconnect::Interconnect::arbitrate
-    pub fn take_mem_events(&mut self) -> Vec<MemEvent> {
-        self.timing.take_events()
+    pub fn take_mem_events_into(&mut self, buf: &mut Vec<MemEvent>) {
+        self.timing.swap_events(buf);
+    }
+
+    /// Discards any recorded memory events without yielding them (warm-up
+    /// phases, shards running with the interconnect disabled).
+    pub fn discard_mem_events(&mut self) {
+        self.timing.discard_events();
     }
 
     /// Applies one epoch's interconnect verdict to this shard: the

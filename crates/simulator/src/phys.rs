@@ -6,10 +6,9 @@
 //! failure ([`PhysMem::crash`]) therefore simply discards the DRAM region;
 //! the NVRAM region is exactly what recovery code gets to see.
 
-use std::collections::HashMap;
-
 use crate::addr::{LineIdx, PhysAddr, Ppn, LINE_SIZE, PAGE_SIZE};
 use crate::timing::MemKind;
+use fxhash::FxHashMap;
 
 /// First physical page number of the NVRAM region. Frames below this are
 /// DRAM, frames at or above are NVRAM.
@@ -40,7 +39,10 @@ fn zeroed_frame() -> PageFrame {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhysMem {
-    frames: HashMap<u64, PageFrame>,
+    /// Fast-hashed: every cache miss, write-back and uncached metadata
+    /// access resolves a frame here, and nothing observable depends on
+    /// iteration order (the fingerprint sorts, `crash` filters).
+    frames: FxHashMap<u64, PageFrame>,
 }
 
 impl PhysMem {

@@ -174,6 +174,20 @@ impl MemTiming {
         std::mem::take(&mut self.events)
     }
 
+    /// Moves the recorded event stream into `buf` (cleared first) and
+    /// keeps `buf`'s old allocation as the new recording buffer — the
+    /// zero-allocation epoch-drain the sharded driver uses: two buffers
+    /// ping-pong per shard instead of a fresh `Vec` per epoch.
+    pub fn swap_events(&mut self, buf: &mut Vec<MemEvent>) {
+        buf.clear();
+        std::mem::swap(&mut self.events, buf);
+    }
+
+    /// Drops any recorded events in place, keeping the allocation.
+    pub fn discard_events(&mut self) {
+        self.events.clear();
+    }
+
     /// Pushes the pacing cursor `delay` cycles further out: when the
     /// interconnect charges a shard for cross-shard queueing, the shard's
     /// future arrivals shift by the same amount (the port stalls with the

@@ -6,8 +6,7 @@
 //! REDO-LOG, shadow paging) implements them with its own persistence
 //! machinery over the shared [`ssp_simulator::Machine`].
 
-use std::collections::HashSet;
-
+use fxhash::FxHashSet;
 use ssp_simulator::addr::{VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::CoreId;
 use ssp_simulator::machine::Machine;
@@ -67,6 +66,40 @@ pub fn line_spans(addr: VirtAddr, len: usize) -> impl Iterator<Item = LineSpan> 
         cursor = span_end;
         Some(span)
     })
+}
+
+/// Refills `scratch` from `items`, sorts it by `key`, and hands the
+/// vector out by value; the caller iterates it and must assign it back
+/// to the scratch field so the capacity is reused.
+///
+/// This is the engines' standard "sort hash-ordered state before it
+/// reaches the machine" idiom: the [`TxnEngine`] determinism contract
+/// requires the sort (hash iteration order varies per instance), and
+/// routing it through an engine-owned scratch vector keeps the warm
+/// transaction loop allocation-free (pinned by `tests/hot_path_allocs.rs`
+/// at the workspace root).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_txn::engine::sorted_scratch;
+///
+/// let mut scratch: Vec<u64> = Vec::with_capacity(16);
+/// let lines = sorted_scratch(&mut scratch, [3u64, 1, 2], |&l| l);
+/// assert_eq!(lines, [1, 2, 3]);
+/// scratch = lines; // give the capacity back for the next transaction
+/// assert!(scratch.capacity() >= 16);
+/// ```
+pub fn sorted_scratch<T, K: Ord>(
+    scratch: &mut Vec<T>,
+    items: impl IntoIterator<Item = T>,
+    key: impl FnMut(&T) -> K,
+) -> Vec<T> {
+    let mut v = std::mem::take(scratch);
+    v.clear();
+    v.extend(items);
+    v.sort_unstable_by_key(key);
+    v
 }
 
 /// Aggregate transaction statistics, including the write-set
@@ -148,10 +181,14 @@ impl TxnStats {
 }
 
 /// Tracks the distinct lines/pages written by one in-flight transaction.
+///
+/// Engines keep one tracker per core and reuse it across transactions
+/// ([`fold_commit`](Self::fold_commit)/[`fold_abort`](Self::fold_abort)
+/// clear but keep capacity), so steady-state tracking allocates nothing.
 #[derive(Debug, Clone, Default)]
 pub struct WriteSetTracker {
-    lines: HashSet<u64>,
-    pages: HashSet<u64>,
+    lines: FxHashSet<u64>,
+    pages: FxHashSet<u64>,
 }
 
 impl WriteSetTracker {
@@ -196,6 +233,13 @@ impl WriteSetTracker {
     /// Clears the tracker after an abort.
     pub fn fold_abort(&mut self, stats: &mut TxnStats) {
         stats.aborted += 1;
+        self.lines.clear();
+        self.pages.clear();
+    }
+
+    /// Discards the tracked state without touching any statistics (a
+    /// simulated crash drops the in-flight transaction silently).
+    pub fn clear(&mut self) {
         self.lines.clear();
         self.pages.clear();
     }

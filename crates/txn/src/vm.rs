@@ -6,8 +6,7 @@
 //! 8-byte atomic persists, so virtual-to-physical mappings survive a crash
 //! — the paper relies on the OS for this; we make it explicit.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use ssp_simulator::addr::{PhysAddr, Ppn, VirtAddr, Vpn, PAGE_SIZE};
 use ssp_simulator::cache::CoreId;
 use ssp_simulator::machine::Machine;
@@ -125,7 +124,9 @@ const HDR_NEXT_VPN: u64 = 0;
 pub struct VmManager {
     layout: NvLayout,
     next_index: u64,
-    table: HashMap<u64, Ppn>,
+    /// Fast-hashed: `translate` sits on every engine load/store path and
+    /// the table is never iterated, so the hasher is unobservable.
+    table: FxHashMap<u64, Ppn>,
 }
 
 impl VmManager {
@@ -135,7 +136,7 @@ impl VmManager {
         Self {
             layout,
             next_index: 0,
-            table: HashMap::new(),
+            table: FxHashMap::default(),
         }
     }
 

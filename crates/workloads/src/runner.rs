@@ -398,7 +398,7 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
         }
         // Setup and warm-up run uncontended: their recorded events are
         // discarded so epoch arbitration covers the measured phase only.
-        let _ = self.engine.machine_mut().take_mem_events();
+        self.engine.machine_mut().discard_mem_events();
         (
             self.engine.machine().stats().clone(),
             self.engine.txn_stats().clone(),
@@ -436,7 +436,13 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
             remaining = self.run_until(remaining, target);
             {
                 let mut st = sync.state.lock().expect("epoch state poisoned");
-                st.streams[w] = self.engine.machine_mut().take_mem_events();
+                // Swap rather than replace: this epoch's events land in the
+                // shared slot and the previous epoch's (drained) buffer
+                // becomes the machine's next recording buffer, so threaded
+                // runs stop allocating per epoch per shard.
+                self.engine
+                    .machine_mut()
+                    .take_mem_events_into(&mut st.streams[w]);
                 st.remaining[w] = remaining;
             }
             if sync.barrier.wait() {
@@ -688,7 +694,7 @@ where
                             // Free for a disabled shard; keeps the log of
                             // an (unsupported) enabled-while-run-disabled
                             // shard from growing without bound.
-                            let _ = worker.engine.machine_mut().take_mem_events();
+                            worker.engine.machine_mut().discard_mem_events();
                         }
                     }
                     end.wait();
@@ -729,7 +735,7 @@ where
             for (w, worker) in workers.iter_mut().enumerate() {
                 if remaining[w] > 0 {
                     worker.one_txn();
-                    let _ = worker.engine.machine_mut().take_mem_events();
+                    worker.engine.machine_mut().discard_mem_events();
                     remaining[w] -= 1;
                 }
             }
@@ -758,11 +764,16 @@ fn run_epochs_sequential<E: TxnEngine, W: Workload>(workers: &mut [Worker<E, W>]
         .iter()
         .map(|w| w.engine.machine().cycles(SHARD_CORE) + epoch_cycles)
         .collect();
+    // One stream buffer per worker, recycled across epochs exactly like
+    // the threaded driver's EpochSync slots.
+    let mut streams: Vec<Vec<MemEvent>> = vec![Vec::new(); workers.len()];
     loop {
-        let mut streams = Vec::with_capacity(workers.len());
         for (w, worker) in workers.iter_mut().enumerate() {
             remaining[w] = worker.run_until(remaining[w], targets[w]);
-            streams.push(worker.engine.machine_mut().take_mem_events());
+            worker
+                .engine
+                .machine_mut()
+                .take_mem_events_into(&mut streams[w]);
         }
         let charges = ic.arbitrate(&streams);
         for (w, worker) in workers.iter_mut().enumerate() {

@@ -1,0 +1,107 @@
+//! Allocation-regression net for the simulator/engine hot path.
+//!
+//! The PR-5 optimization pass made the warm steady state of every engine
+//! allocation-free: line spans and sub-page groups iterate without
+//! collecting, commit/abort sorting reuses engine-owned scratch vectors,
+//! per-transaction tracking state lives in per-core buffers that clear
+//! but keep capacity, and the metadata journal drains its append buffer
+//! in place. This test pins that property with a counting global
+//! allocator so a stray `collect()` on the hot path fails CI instead of
+//! silently costing throughput.
+//!
+//! The file intentionally holds a single `#[test]`: the counter is
+//! process-global, and a concurrently running test would perturb it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ssp::simulator::cache::CoreId;
+use ssp::simulator::config::MachineConfig;
+use ssp::txn::engine::TxnEngine;
+use ssp::workloads::dist::KeyDist;
+use ssp::workloads::runner::Workload;
+use ssp::workloads::sps::Sps;
+use ssp::{RedoLog, ShadowPaging, Ssp, SspConfig, UndoLog};
+
+/// Counts every allocation and reallocation; frees are uncounted (the
+/// steady-state claim is about acquiring memory, and a free implies an
+/// earlier counted acquisition).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const C0: CoreId = CoreId::new(0);
+const WARMUP_TXNS: u64 = 400;
+const MEASURED_TXNS: u64 = 256;
+
+/// Allocations tolerated across the whole measured phase (not per
+/// transaction): a handful of one-off capacity growths that did not
+/// stabilise during warm-up are acceptable; anything scaling with the
+/// transaction count is a regression. 256 transactions at even one
+/// allocation each would blow this bound 30× over.
+const ALLOWED_ALLOCS: u64 = 8;
+
+/// Runs `txns` warm transactions and returns the allocations the
+/// measured phase performed.
+fn measured_allocs(engine: &mut dyn TxnEngine, workload: &mut Sps, rng: &mut SmallRng) -> u64 {
+    for _ in 0..WARMUP_TXNS {
+        engine.begin(C0);
+        workload.run_txn(engine, C0, rng);
+        engine.commit(C0);
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..MEASURED_TXNS {
+        engine.begin(C0);
+        workload.run_txn(engine, C0, rng);
+        engine.commit(C0);
+    }
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn warm_transaction_loop_is_allocation_free_for_every_engine() {
+    let engines: [(&str, Box<dyn TxnEngine>); 4] = [
+        (
+            "SSP",
+            Box::new(Ssp::new(MachineConfig::default(), SspConfig::default())),
+        ),
+        ("UNDO-LOG", Box::new(UndoLog::new(MachineConfig::default()))),
+        ("REDO-LOG", Box::new(RedoLog::new(MachineConfig::default()))),
+        (
+            "SHADOW",
+            Box::new(ShadowPaging::new(MachineConfig::default())),
+        ),
+    ];
+    for (name, mut engine) in engines {
+        let mut workload = Sps::new(1024, KeyDist::uniform(1024));
+        workload.setup(engine.as_mut(), C0);
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        let allocs = measured_allocs(engine.as_mut(), &mut workload, &mut rng);
+        assert!(
+            allocs <= ALLOWED_ALLOCS,
+            "{name}: {allocs} heap allocations across {MEASURED_TXNS} warm transactions \
+             (allowed {ALLOWED_ALLOCS} total) — something on the hot path allocates again"
+        );
+    }
+}
