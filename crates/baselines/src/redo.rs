@@ -14,6 +14,7 @@ use fxhash::FxHashMap;
 use ssp_simulator::addr::{PhysAddr, VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
+use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
@@ -271,9 +272,15 @@ impl TxnEngine for RedoLog {
             self.machine.add_cycles(core, (cycles / mlp).max(1));
         }
         self.logs[core.index()].persist_head(&mut self.machine, Some(core));
+        // Fault site: redo log durable, commit register not yet bumped —
+        // a cut here must roll the transaction back on recovery.
+        self.machine.fault_point(FaultSite::CommitData);
 
         // 2. Atomic commit point: the transaction is durable here.
         self.commits[core.index()].commit(&mut self.machine, Some(core), tid);
+        // Fault site: the commit register is durable — a cut here must
+        // keep the transaction (redo replay finishes the data drain).
+        self.machine.fault_point(FaultSite::CommitMark);
 
         // 3. Post-commit data drain: write the speculative lines home.
         //    Functionally now; latency-wise it only extends drain_until.
@@ -347,6 +354,10 @@ impl TxnEngine for RedoLog {
 
     fn recover(&mut self) {
         self.vm.recover(&self.machine);
+        // Fault site: before any redo replay writes land — a crash
+        // *during recovery*; rerunning recovery must succeed (redo
+        // replay is idempotent).
+        self.machine.fault_point(FaultSite::Recovery);
         let mut max_tid = 0;
         for c in 0..self.logs.len() {
             self.logs[c].recover(&self.machine);

@@ -11,6 +11,7 @@ use fxhash::FxHashMap;
 use ssp_simulator::addr::{LineIdx, PhysAddr, Ppn, VirtAddr, Vpn};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
+use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
@@ -264,7 +265,13 @@ impl TxnEngine for ShadowPaging {
             self.machine.add_cycles(core, (cycles / mlp).max(1));
         }
         self.logs[core.index()].persist_head(&mut self.machine, Some(core));
+        // Fault site: remap journal durable, commit register not yet
+        // bumped — a cut here must roll the transaction back on recovery.
+        self.machine.fault_point(FaultSite::CommitData);
         self.commits[core.index()].commit(&mut self.machine, Some(core), txn.tid);
+        // Fault site: the commit register is durable — a cut here must
+        // keep the transaction (recovery replays the remaps).
+        self.machine.fault_point(FaultSite::CommitMark);
         for &(vpn_raw, shadow) in &remaps {
             let vpn = Vpn::new(vpn_raw);
             let old = self.vm.translate(vpn).expect("mapped page");
@@ -329,6 +336,10 @@ impl TxnEngine for ShadowPaging {
 
     fn recover(&mut self) {
         self.vm.recover(&self.machine);
+        // Fault site: before any remap replay writes land — a crash
+        // *during recovery*; rerunning recovery must succeed (remap
+        // replay is idempotent).
+        self.machine.fault_point(FaultSite::Recovery);
         let mut max_tid = 0;
         for c in 0..self.logs.len() {
             self.logs[c].recover(&self.machine);

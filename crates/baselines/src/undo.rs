@@ -14,6 +14,7 @@ use fxhash::FxHashSet;
 use ssp_simulator::addr::{PhysAddr, VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
+use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
@@ -229,8 +230,14 @@ impl TxnEngine for UndoLog {
                 .flush(Some(core), PhysAddr::new(line), WriteClass::Data);
         }
         self.scratch_lines = lines;
+        // Fault site: data durable, commit register not yet bumped — a
+        // cut here must roll the transaction back on recovery.
+        self.machine.fault_point(FaultSite::CommitData);
         // Atomic commit point.
         self.commits[core.index()].commit(&mut self.machine, Some(core), txn.tid);
+        // Fault site: the commit register is durable — a cut here must
+        // keep the transaction.
+        self.machine.fault_point(FaultSite::CommitMark);
         // The log space can be reused.
         self.logs[core.index()].truncate();
         self.trackers[core.index()].fold_commit(&mut self.stats);
@@ -280,6 +287,10 @@ impl TxnEngine for UndoLog {
             max_tid = max_tid.max(committed);
             per_core.push((committed, self.logs[c].read_all(&self.machine)));
         }
+        // Fault site: logs and commit registers read, nothing rolled back
+        // yet — a crash *during recovery*; rerunning recovery must
+        // succeed (undo replay is idempotent).
+        self.machine.fault_point(FaultSite::Recovery);
         for (committed, entries) in &per_core {
             // Roll back the (single) uncommitted transaction: its entries
             // are exactly those with tid > the core's commit register.

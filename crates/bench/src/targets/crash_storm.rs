@@ -1,0 +1,159 @@
+//! Crash-storm benchmark: recovery and data-loss curves per engine under
+//! scheduled power cuts at full workload traffic.
+//!
+//! Sweeps crash density (storm period in simulated cycles) × engine ×
+//! thread count, cutting power mid-run on every shard and recovering
+//! against the oracle after each cut. Three properties are asserted *in
+//! the target* on every cell, so CI fails loudly rather than baking a bad
+//! number into a baseline:
+//!
+//! 1. **Zero data loss** — `lost_txns == 0` for all four engines: no
+//!    committed transaction may disappear across any storm.
+//! 2. **Mode determinism** — the threaded and sequential drivers produce
+//!    bit-identical per-shard reports for the same seed + schedule.
+//! 3. **Repeat determinism** — a second threaded run reproduces the first
+//!    exactly.
+//!
+//! Everything reported under `sim` (storm counts, torn-transaction
+//! resolution, recovery NVRAM traffic and cycle estimates, NVRAM
+//! fingerprints) is deterministic simulated state and exact-gated by
+//! `bench_diff`.
+
+use std::time::Instant;
+
+use ssp_simulator::config::MachineConfig;
+use ssp_workloads::storm::{run_storm, StormRun, StormSchedule};
+use ssp_workloads::ExecMode;
+
+use super::quick_mode;
+use crate::json::Json;
+use crate::{
+    env_setup, make_engine, make_workload, print_matrix, BenchReport, EngineKind, MatrixRunner,
+    SspConfig, WorkloadKind,
+};
+
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::Undo,
+    EngineKind::Redo,
+    EngineKind::Ssp,
+    EngineKind::Shadow,
+];
+
+/// Runs the target and returns its report.
+pub fn run(_runner: &MatrixRunner) -> BenchReport {
+    let t0 = Instant::now();
+    let quick = quick_mode();
+    // Storm period in simulated cycles: smaller = denser crash schedule.
+    let periods: &[u64] = if quick {
+        &[3_000, 12_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 4] };
+
+    let mut sim_rows = Vec::new();
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let (mut run_cfg, scale) = env_setup(threads);
+        // The storm driver oracle-checks from the first transaction;
+        // there is no separate warmup phase to exclude.
+        run_cfg.txns += run_cfg.warmup;
+        run_cfg.warmup = 0;
+        let shard_scale = scale.per_shard(threads);
+        for &period in periods {
+            let schedule = StormSchedule {
+                points: vec![ssp_workloads::StormPoint::AfterCycles(period)],
+                crash_during_recovery: true,
+                rearm: true,
+            };
+            for engine in ENGINES {
+                let cfg = MachineConfig::default();
+                let ssp_cfg = SspConfig::default();
+                let shard_cfgs: Vec<MachineConfig> = (0..threads)
+                    .map(|w| cfg.shard_slice_for(threads, w))
+                    .collect();
+                let storm = |mode: ExecMode| -> StormRun {
+                    let mut mode_cfg = run_cfg.clone();
+                    mode_cfg.mode = mode;
+                    run_storm(
+                        |w| make_engine(engine, &shard_cfgs[w], &ssp_cfg),
+                        |_w| make_workload(WorkloadKind::Sps, shard_scale),
+                        &mode_cfg,
+                        &schedule,
+                    )
+                };
+
+                let threaded = storm(ExecMode::Threaded);
+                let repeat = storm(ExecMode::Threaded);
+                let sequential = storm(ExecMode::Sequential);
+                assert_eq!(
+                    threaded.shards,
+                    repeat.shards,
+                    "{} p{period} x{threads}: threaded repeat drifted",
+                    engine.name()
+                );
+                assert_eq!(
+                    threaded.shards,
+                    sequential.shards,
+                    "{} p{period} x{threads}: threaded vs sequential diverged",
+                    engine.name()
+                );
+                let t = threaded.totals();
+                assert_eq!(
+                    t.lost_txns,
+                    0,
+                    "{} p{period} x{threads} lost committed transactions: {t:?}",
+                    engine.name()
+                );
+
+                rows.push((
+                    format!("{} p{} x{}", engine.name(), period / 1000, threads),
+                    vec![
+                        format!("{}", t.storms),
+                        format!("{}", t.torn_txns),
+                        format!("{}", t.kept_torn_txns),
+                        format!("{}", t.torn_recoveries),
+                        format!("{}", t.lost_txns),
+                        format!("{}", t.recovery_cycles_est),
+                    ],
+                ));
+                let mut sim = Json::obj();
+                sim.set("engine", Json::Str(engine.name().to_string()));
+                sim.set("storm_period_cycles", Json::U64(period));
+                sim.set("threads", Json::U64(threads as u64));
+                sim.set("txns", Json::U64(t.txns));
+                sim.set("storms", Json::U64(t.storms));
+                sim.set("torn_txns", Json::U64(t.torn_txns));
+                sim.set("kept_torn_txns", Json::U64(t.kept_torn_txns));
+                sim.set("torn_recoveries", Json::U64(t.torn_recoveries));
+                sim.set("lost_txns", Json::U64(t.lost_txns));
+                sim.set("recovery_nvram_reads", Json::U64(t.recovery_nvram_reads));
+                sim.set("recovery_nvram_writes", Json::U64(t.recovery_nvram_writes));
+                sim.set("recovery_cycles_est", Json::U64(t.recovery_cycles_est));
+                sim.set("elapsed_cycles", Json::U64(t.elapsed_cycles));
+                sim.set("fingerprint", Json::U64(threaded.combined_fingerprint()));
+                sim_rows.push(sim);
+            }
+        }
+    }
+    print_matrix(
+        "Crash storms (SPS): period(kcyc) x threads",
+        &[
+            "storms",
+            "torn",
+            "kept torn",
+            "torn rec",
+            "lost",
+            "rec cycles",
+        ],
+        &rows,
+    );
+    println!("\nevery cell is run threaded twice and sequentially once; all three");
+    println!("runs must match bit-for-bit, and no engine may lose a committed");
+    println!("transaction (lost == 0 is asserted, not just reported)");
+
+    let mut report = BenchReport::new("crash_storm", quick);
+    report.sim("rows", Json::Arr(sim_rows));
+    report.host_wall(t0.elapsed());
+    report
+}

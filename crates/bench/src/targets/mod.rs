@@ -12,6 +12,7 @@
 use crate::{BenchReport, MatrixRunner};
 
 pub mod ablations;
+pub mod crash_storm;
 pub mod fig5;
 pub mod fig5b;
 pub mod fig6;
@@ -31,7 +32,7 @@ pub fn quick_mode() -> bool {
 /// Runs every ported target against `runner` and writes each report.
 /// Returns the reports in run order.
 pub fn run_all(runner: &MatrixRunner) -> Vec<BenchReport> {
-    let targets: [fn(&MatrixRunner) -> BenchReport; 11] = [
+    let targets: [fn(&MatrixRunner) -> BenchReport; 12] = [
         fig5::run,
         fig6::run,
         fig7::run,
@@ -43,6 +44,7 @@ pub fn run_all(runner: &MatrixRunner) -> Vec<BenchReport> {
         ablations::run,
         scaling::run,
         recovery::run,
+        crash_storm::run,
     ];
     targets
         .iter()

@@ -74,7 +74,13 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
         let t = Instant::now();
         engine.recover();
         let cold_us = t.elapsed().as_micros();
-        let replayed = engine.as_ssp().expect("SSP cell").last_recovery_replayed();
+        let (replayed, replayed_bytes) = {
+            let ssp = engine.as_ssp().expect("SSP cell");
+            (
+                ssp.last_recovery_replayed(),
+                ssp.last_recovery_replayed_bytes(),
+            )
+        };
 
         // Warm host latency: allocations are pre-warmed by the cold
         // recovery above, and recovery checkpoints the journal, so these
@@ -97,6 +103,7 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
                 format!("{run_checkpoints}"),
                 format!("{live_bytes} B"),
                 format!("{replayed}"),
+                format!("{replayed_bytes} B"),
                 format!("{warm_us} us"),
                 format!("{cold_us} us"),
             ],
@@ -106,6 +113,7 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
         sim.set("run_checkpoints", Json::U64(run_checkpoints));
         sim.set("journal_live_bytes", Json::U64(live_bytes));
         sim.set("records_replayed", Json::U64(replayed));
+        sim.set("replayed_journal_bytes", Json::U64(replayed_bytes));
         sim.set("run_elapsed_cycles", Json::U64(out.result.elapsed_cycles));
         sim_rows.push(sim);
         let mut host = Json::obj();
@@ -120,6 +128,7 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
             "checkpoints",
             "live journal",
             "replayed",
+            "replayed B",
             "host (warm)",
             "host (cold)",
         ],

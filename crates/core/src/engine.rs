@@ -22,6 +22,7 @@ use fxhash::{FxHashMap, FxHashSet};
 use ssp_simulator::addr::{LineIdx, PhysAddr, VirtAddr, Vpn, LINE_SIZE};
 use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
+use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
@@ -108,6 +109,9 @@ pub struct Ssp {
     ///
     /// [`recover`]: TxnEngine::recover
     last_recovery_replayed: u64,
+    /// Encoded bytes of those records — the journal extent recovery had
+    /// to scan and apply.
+    last_recovery_replayed_bytes: u64,
 }
 
 impl Ssp {
@@ -145,6 +149,7 @@ impl Ssp {
             checkpoints: 0,
             next_fresh_spare: slots as u64,
             last_recovery_replayed: 0,
+            last_recovery_replayed_bytes: 0,
         }
     }
 
@@ -178,6 +183,12 @@ impl Ssp {
     /// the first crash+recover cycle).
     pub fn last_recovery_replayed(&self) -> u64 {
         self.last_recovery_replayed
+    }
+
+    /// Encoded bytes of the journal records replayed by the most recent
+    /// recovery — the live journal extent replay scanned and applied.
+    pub fn last_recovery_replayed_bytes(&self) -> u64 {
+        self.last_recovery_replayed_bytes
     }
 
     /// How many SSP-cache slots were added beyond the `N×T+O` sizing.
@@ -275,6 +286,8 @@ impl Ssp {
             return;
         }
         if let Some(sid) = self.cache.sid_of(vpn) {
+            // Fault site: mid-consolidation, before lines are copied home.
+            self.machine.fault_point(FaultSite::Consolidation);
             self.consolidator
                 .enqueue_if_inactive(&mut self.cache, sid, holders);
             self.consolidator.drain(
@@ -628,6 +641,9 @@ impl TxnEngine for Ssp {
         for &(_, paddr) in &txn.fallback_lines {
             self.machine.flush(Some(core), paddr, WriteClass::Data);
         }
+        // Fault site: data durable, commit mark not yet — a cut here must
+        // roll the transaction back on recovery.
+        self.machine.fault_point(FaultSite::CommitData);
 
         // 2. Metadata update instructions to the controller: one 16-byte
         //    record per modified page, then the commit mark; one journal
@@ -647,6 +663,9 @@ impl TxnEngine for Ssp {
         }
         self.journal.append(Record::CommitMark { tid });
         self.journal.flush(&mut self.machine, Some(core));
+        // Fault site: the commit mark just became durable — a cut here
+        // must keep the transaction.
+        self.machine.fault_point(FaultSite::CommitMark);
 
         // 3. Release the fall-back log if used.
         if !txn.fallback_lines.is_empty() {
@@ -771,6 +790,11 @@ impl TxnEngine for Ssp {
         //    apply records in order (controller records always apply).
         let records = self.journal.read_live(&self.machine);
         self.last_recovery_replayed = records.len() as u64;
+        self.last_recovery_replayed_bytes = records.iter().map(|r| r.encoded_len() as u64).sum();
+        // Fault site: persistent state read, nothing written back yet — a
+        // cut here models a crash *during recovery*; rerunning recovery
+        // from scratch must succeed (replay is idempotent).
+        self.machine.fault_point(FaultSite::Recovery);
         let committed_tids: std::collections::HashSet<u32> = records
             .iter()
             .filter_map(|r| match r {

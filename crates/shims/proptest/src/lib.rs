@@ -10,10 +10,14 @@
 //!   [`prop_oneof!`] (weighted and unweighted), [`prop_assert!`] and
 //!   [`prop_assert_eq!`].
 //!
-//! Semantics differ from real proptest in two deliberate ways: generation
+//! Semantics differ from real proptest in scope, not spirit: generation
 //! is *deterministic* (seeded per test from the test name, then by case
-//! index) so CI failures reproduce exactly, and there is *no shrinking* —
-//! a failing case panics with the case number so it can be replayed.
+//! index) so CI failures reproduce exactly; shrinking is *basic* —
+//! integer ranges shrink toward their low bound and tuples shrink
+//! componentwise ([`Strategy::shrink`]; mapped/one-of strategies do not
+//! shrink); and failing case numbers are persisted as `cc <case>` lines
+//! under `<crate>/proptest-regressions/`, which are replayed *before* the
+//! random cases on the next run (see [`regressions`]).
 
 #![warn(missing_docs)]
 
@@ -53,6 +57,13 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, simplest first. The default
+    /// is no shrinking; integer ranges shrink toward their low bound and
+    /// tuples shrink componentwise.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -66,8 +77,11 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
+        let inner = std::rc::Rc::new(self);
+        let gen_inner = inner.clone();
         BoxedStrategy {
-            gen_fn: Box::new(move |rng| self.generate(rng)),
+            gen_fn: Box::new(move |rng| gen_inner.generate(rng)),
+            shrink_fn: Box::new(move |v| inner.shrink(v)),
         }
     }
 }
@@ -85,15 +99,22 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
+/// The type-erased shrink function of a [`BoxedStrategy`].
+type ShrinkFn<V> = Box<dyn Fn(&V) -> Vec<V>>;
+
 /// A type-erased strategy.
 pub struct BoxedStrategy<V> {
     gen_fn: Box<dyn Fn(&mut TestRng) -> V>,
+    shrink_fn: ShrinkFn<V>,
 }
 
 impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         (self.gen_fn)(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (self.shrink_fn)(value)
     }
 }
 
@@ -115,6 +136,23 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Toward the low bound: the bound itself, the midpoint,
+                // then one step down — simplest first, no duplicates.
+                let (lo, v) = (self.start, *value);
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo && v - 1 != mid {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -122,10 +160,26 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident => $idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Componentwise: shrink one component at a time, keeping
+                // the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -181,11 +235,29 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            // Length-wise toward the minimum size: halve, then drop one.
+            let (min, len) = (self.size.start, value.len());
+            let mut out = Vec::new();
+            if len > min {
+                let half = min.max(len / 2);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 != half {
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            out
         }
     }
 
@@ -243,6 +315,126 @@ pub fn case_rng(test_seed: u64, case: u32) -> TestRng {
     TestRng::seed_from_u64(seeder.next_u64())
 }
 
+/// Greedily minimizes a failing input: repeatedly replaces it with the
+/// first [`Strategy::shrink`] candidate that still fails, up to
+/// `max_steps`. Returns the minimal failing value, the number of
+/// successful shrink steps, and the panic payload of the minimal failure.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut payload: Box<dyn std::any::Any + Send>,
+    run: F,
+    max_steps: usize,
+) -> (S::Value, usize, Box<dyn std::any::Any + Send>)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), Box<dyn std::any::Any + Send>>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for cand in strategy.shrink(&failing) {
+            if let Err(e) = run(&cand) {
+                failing = cand;
+                payload = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (failing, steps, payload)
+}
+
+/// The property-test driver behind the [`proptest!`] macro: replays
+/// persisted regression cases first, then runs `config.cases` random
+/// cases; on a failure it persists the case number, greedily shrinks the
+/// input ([`shrink_failure`]), and re-raises the minimal failure's panic.
+pub fn run_property<S, F>(config: &ProptestConfig, dir: &str, test_name: &str, strategy: S, run: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), Box<dyn std::any::Any + Send>>,
+{
+    let test_seed = seed_for(test_name);
+    let mut cases = regressions::load(dir, test_name);
+    let replayed = cases.len();
+    cases.extend(0..config.cases);
+    for (i, case) in cases.into_iter().enumerate() {
+        let mut rng = case_rng(test_seed, case);
+        let vals = strategy.generate(&mut rng);
+        if let Err(err) = run(&vals) {
+            regressions::record(dir, test_name, case);
+            let (_, steps, payload) = shrink_failure(&strategy, vals, err, &run, 256);
+            let label = if i < replayed {
+                " [replayed regression]"
+            } else {
+                ""
+            };
+            eprintln!(
+                "proptest shim: {test_name} failed at case {case}{label} (shrunk {steps} \
+                 step(s); persisted as `cc {case}` under proptest-regressions/)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Regression-seed persistence: failing case numbers are appended as
+/// `cc <case>` lines to `<dir>/<test>.txt` (dots from the module path
+/// replaced so the file name stays flat), and replayed before the random
+/// cases on the next run — the shim's generation is deterministic per
+/// `(test name, case number)`, so the case number *is* the seed.
+pub mod regressions {
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn file_for(dir: &str, test_name: &str) -> PathBuf {
+        PathBuf::from(dir).join(format!("{}.txt", test_name.replace("::", "__")))
+    }
+
+    /// Loads the persisted failing case numbers for `test_name`
+    /// (deduplicated, in file order). Missing files mean no regressions.
+    pub fn load(dir: &str, test_name: &str) -> Vec<u32> {
+        let Ok(text) = std::fs::read_to_string(file_for(dir, test_name)) else {
+            return Vec::new();
+        };
+        let mut cases = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.trim().strip_prefix("cc ") {
+                if let Ok(case) = rest.trim().parse::<u32>() {
+                    if !cases.contains(&case) {
+                        cases.push(case);
+                    }
+                }
+            }
+        }
+        cases
+    }
+
+    /// Appends `cc <case>` for `test_name`, creating the directory and
+    /// file on first use. Best-effort: IO errors are reported to stderr,
+    /// never panic — a read-only checkout must not mask the real failure.
+    pub fn record(dir: &str, test_name: &str, case: u32) {
+        if load(dir, test_name).contains(&case) {
+            return;
+        }
+        let path = file_for(dir, test_name);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
+            writeln!(f, "cc {case}")
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "proptest shim: could not persist regression to {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
 /// Picks one strategy among several (optionally weighted), like
 /// `proptest::prop_oneof!`. All arms must yield the same value type.
 #[macro_export]
@@ -282,6 +474,11 @@ macro_rules! prop_assert_ne {
 
 /// Declares property tests: each `fn name(arg in strategy, ..) { body }`
 /// becomes a `#[test]` that runs the body for `cases` generated inputs.
+///
+/// Persisted regressions (`proptest-regressions/<test>.txt`, `cc <case>`
+/// lines) are replayed before the random cases; a failing input is
+/// greedily shrunk via [`Strategy::shrink`] and its case number is
+/// persisted before the minimal failure's panic is re-raised.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -294,19 +491,20 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let test_seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
-                let mut __proptest_rng = $crate::case_rng(test_seed, case);
-                $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)+
-                let run = ::std::panic::AssertUnwindSafe(|| { $body });
-                if let Err(err) = ::std::panic::catch_unwind(run) {
-                    eprintln!(
-                        "proptest shim: {} failed at case {}/{} (no shrinking)",
-                        stringify!($name), case, config.cases
-                    );
-                    ::std::panic::resume_unwind(err);
-                }
-            }
+            // All argument strategies as one tuple strategy: generation
+            // draws from the per-case RNG in declaration order (identical
+            // to generating each argument in turn), and shrinking is
+            // componentwise across the arguments.
+            $crate::run_property(
+                &config,
+                concat!(env!("CARGO_MANIFEST_DIR"), "/proptest-regressions"),
+                concat!(module_path!(), "::", stringify!($name)),
+                ($($strat,)+),
+                |__vals| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }))
+                },
+            );
         }
     )*};
     ($($rest:tt)*) => {
@@ -360,5 +558,53 @@ mod tests {
         let mut r1 = crate::case_rng(42, 0);
         let mut r2 = crate::case_rng(42, 0);
         assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_the_low_bound() {
+        let s = 10u64..100;
+        let cands = s.shrink(&57);
+        assert_eq!(cands[0], 10, "the bound itself comes first");
+        assert!(cands.iter().all(|&c| (10..57).contains(&c)), "{cands:?}");
+        assert!(s.shrink(&10).is_empty(), "the bound cannot shrink");
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let s = (5u64..50, 0u8..4);
+        for (a, b) in s.shrink(&(20, 3)) {
+            assert!(
+                (a == 20) ^ (b == 3),
+                "exactly one component moves: ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_a_failing_input() {
+        // Property: x < 30. Greedy shrinking from any failing x must land
+        // on the smallest failing value, 30.
+        let s = 0u64..1000;
+        let run = |x: &u64| {
+            std::panic::catch_unwind(|| assert!(*x < 30))
+                .map_err(|e| e as Box<dyn std::any::Any + Send>)
+        };
+        let seed_err = run(&777).unwrap_err();
+        let (min, steps, _) = crate::shrink_failure(&s, 777, seed_err, run, 256);
+        assert_eq!(min, 30, "after {steps} steps");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn regressions_round_trip_and_replay_first() {
+        let dir = std::env::temp_dir().join(format!("ssp-proptest-shim-{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        let name = "tests::regressions_round_trip";
+        assert!(crate::regressions::load(&dir, name).is_empty());
+        crate::regressions::record(&dir, name, 17);
+        crate::regressions::record(&dir, name, 3);
+        crate::regressions::record(&dir, name, 17); // deduplicated
+        assert_eq!(crate::regressions::load(&dir, name), vec![17, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

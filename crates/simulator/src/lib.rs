@@ -15,6 +15,10 @@
 //!   payload (SSP widens entries; baselines use `()`).
 //! * [`machine`] — the facade gluing these together with per-core cycle
 //!   accounting and NVRAM write counters classified by purpose.
+//! * [`fault`] — deterministic fault injection: crash points armed at
+//!   exact virtual times or named engine sites freeze [`phys`] memory at
+//!   the cut instant while the simulation runs on (the crash-storm
+//!   harness's trigger layer).
 //! * [`interconnect`] / [`bankq`] — the deterministic *cross-shard*
 //!   memory-controller model: shards record their memory events against
 //!   local virtual time, and at epoch boundaries the run driver merges
@@ -57,6 +61,7 @@ pub mod addr;
 pub mod bankq;
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod interconnect;
 pub mod machine;
 pub mod phys;
@@ -67,6 +72,7 @@ pub mod tlb;
 pub use addr::{LineIdx, PhysAddr, Ppn, VirtAddr, Vpn, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 pub use cache::{CoreId, TxEviction};
 pub use config::{InterconnectConfig, MachineConfig};
+pub use fault::{CrashPoint, FaultSite};
 pub use interconnect::{EpochCharge, Interconnect, MemEvent};
 pub use machine::Machine;
 pub use stats::{MachineStats, WriteClass};

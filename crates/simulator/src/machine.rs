@@ -9,6 +9,7 @@
 use crate::addr::{PhysAddr, LINE_SIZE};
 use crate::cache::{AccessResult, CacheHierarchy, CoreId, LineOp};
 use crate::config::MachineConfig;
+use crate::fault::{CrashPoint, FaultSite, FaultState};
 use crate::interconnect::{EpochCharge, MemEvent};
 use crate::phys::PhysMem;
 use crate::stats::{MachineStats, WriteClass};
@@ -41,6 +42,7 @@ pub struct Machine {
     cache: CacheHierarchy,
     stats: MachineStats,
     core_cycles: Vec<u64>,
+    fault: FaultState,
 }
 
 impl Machine {
@@ -56,6 +58,7 @@ impl Machine {
             cache,
             stats: MachineStats::new(),
             core_cycles,
+            fault: FaultState::default(),
         }
     }
 
@@ -99,13 +102,58 @@ impl Machine {
     }
 
     /// Refreshes the local virtual time stamped onto memory events the
-    /// timing model records for the cross-shard interconnect. Called at
-    /// every public entry point that can reach the memory controller; a
-    /// cheap no-op when the interconnect is disabled.
+    /// timing model records for the cross-shard interconnect, and checks
+    /// any armed virtual-time crash point against the same clock. Called
+    /// at every public entry point that can reach the memory controller;
+    /// a cheap no-op when the interconnect is disabled and no crash point
+    /// is armed.
     fn stamp_event_clock(&mut self) {
+        self.fault_tick();
         if self.timing.recording() {
             let now = self.core_cycles.iter().copied().max().unwrap_or(0);
             self.timing.set_now(now);
+        }
+    }
+
+    /// Checks an armed [`CrashPoint::AtCycle`] against the clock and
+    /// trips the power cut when it fires. The clock is the maximum
+    /// per-core cycle count — the same deterministic quantity in every
+    /// execution mode.
+    fn fault_tick(&mut self) {
+        if matches!(self.fault.armed(), Some(CrashPoint::AtCycle(_))) {
+            let now = self.core_cycles.iter().copied().max().unwrap_or(0);
+            if self.fault.check_cycle(now) {
+                self.mem.freeze();
+            }
+        }
+    }
+
+    /// Arms a crash point, replacing any previously armed one (the
+    /// fault scheduler keeps at most one pending cut). See
+    /// [`fault`](crate::fault) for trigger semantics.
+    pub fn arm_crash(&mut self, point: CrashPoint) {
+        self.fault.arm(point);
+    }
+
+    /// Disarms any pending crash point without clearing a latched trip.
+    pub fn disarm_crash(&mut self) {
+        self.fault.disarm();
+    }
+
+    /// True once an armed crash point has tripped: physical memory is
+    /// frozen and the run driver should crash + recover this machine.
+    /// Cleared by [`Machine::crash`].
+    pub fn power_lost(&self) -> bool {
+        self.fault.tripped()
+    }
+
+    /// Engine hook: reports passing the named fault site and trips the
+    /// power cut if an armed [`CrashPoint::AtSite`] fires here. Engines
+    /// call this at the semantic points named by [`FaultSite`]; a cheap
+    /// no-op when nothing is armed.
+    pub fn fault_point(&mut self, site: FaultSite) {
+        if self.fault.check_site(site) {
+            self.mem.freeze();
         }
     }
 
@@ -139,6 +187,10 @@ impl Machine {
         self.stats.bankq_conflicts += charge.conflicts;
         self.stats.bankq_row_hits += charge.row_hits;
         self.stats.bankq_row_misses += charge.row_misses;
+        // The charge lands exactly once per epoch per shard, so arming
+        // the same EpochBoundary schedule on every shard cuts the power
+        // on all of them at the same epoch boundary.
+        self.fault_point(FaultSite::EpochBoundary);
     }
 
     /// Reads `buf.len()` bytes at `addr` through the cache hierarchy.
@@ -441,7 +493,9 @@ impl Machine {
     }
 
     /// Simulated power failure: all caches, row buffers, cycle accounting
-    /// and DRAM contents are lost; NVRAM survives.
+    /// and DRAM contents are lost; NVRAM survives. Also consumes any
+    /// fault-injection state — a tripped power cut ends here, and memory
+    /// becomes writable again.
     pub fn crash(&mut self) {
         self.cache.crash();
         self.timing.reset();
@@ -449,6 +503,7 @@ impl Machine {
         for c in &mut self.core_cycles {
             *c = 0;
         }
+        self.fault.reset();
     }
 
     /// Number of dirty lines still cached (diagnostics; should be zero
@@ -580,6 +635,65 @@ mod tests {
         let mut buf = [0u8; 1];
         m.read(c, nv(7, 0), &mut buf);
         assert_eq!(buf, [1]);
+    }
+
+    #[test]
+    fn armed_at_cycle_cut_freezes_memory_until_crash() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.persist_bytes(Some(c), nv(10, 0), &[1u8; 8], WriteClass::Data);
+        assert!(!m.power_lost());
+        // Arm just past the current clock. The trigger is checked at the
+        // *start* of each memory access, so the access that advances the
+        // clock past the target still lands; the one after it trips the
+        // cut first and is dropped.
+        m.arm_crash(CrashPoint::AtCycle(m.cycles(c) + 1));
+        m.persist_bytes(Some(c), nv(10, 64), &[2u8; 8], WriteClass::Data);
+        assert!(!m.power_lost());
+        let before = m.cycles(c);
+        m.persist_bytes(Some(c), nv(10, 128), &[3u8; 8], WriteClass::Data);
+        assert!(m.power_lost());
+        // Cycles keep accumulating after the cut.
+        assert!(m.cycles(c) > before);
+        m.crash();
+        assert!(!m.power_lost());
+        let mut buf = [0u8; 8];
+        m.read_bytes_uncached(nv(10, 0), &mut buf);
+        assert_eq!(buf, [1u8; 8]); // pre-cut write survived
+        m.read_bytes_uncached(nv(10, 64), &mut buf);
+        assert_eq!(buf, [2u8; 8]); // clock-crossing write still landed
+        m.read_bytes_uncached(nv(10, 128), &mut buf);
+        assert_eq!(buf, [0u8; 8]); // post-cut write dropped
+    }
+
+    #[test]
+    fn fault_point_site_trips_on_requested_hit() {
+        let mut m = machine();
+        m.arm_crash(CrashPoint::AtSite {
+            site: FaultSite::CommitMark,
+            hits: 2,
+        });
+        m.fault_point(FaultSite::CommitMark);
+        assert!(!m.power_lost());
+        m.fault_point(FaultSite::CommitData); // different site: no count
+        assert!(!m.power_lost());
+        m.fault_point(FaultSite::CommitMark);
+        assert!(m.power_lost());
+        m.crash();
+        assert!(!m.power_lost());
+    }
+
+    #[test]
+    fn disarm_cancels_pending_cut() {
+        let mut m = machine();
+        let c = CoreId::new(0);
+        m.arm_crash(CrashPoint::AtCycle(0));
+        m.disarm_crash();
+        m.persist_bytes(Some(c), nv(11, 0), &[5u8; 8], WriteClass::Data);
+        assert!(!m.power_lost());
+        let mut buf = [0u8; 8];
+        m.read_bytes_uncached(nv(11, 0), &mut buf);
+        assert_eq!(buf, [5u8; 8]);
     }
 
     #[test]

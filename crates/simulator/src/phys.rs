@@ -43,6 +43,10 @@ pub struct PhysMem {
     /// access resolves a frame here, and nothing observable depends on
     /// iteration order (the fingerprint sorts, `crash` filters).
     frames: FxHashMap<u64, PageFrame>,
+    /// Power-cut latch (see [`PhysMem::freeze`]): while set, every write
+    /// is silently dropped so memory holds exactly the bytes it held at
+    /// the cut instant.
+    frozen: bool,
 }
 
 impl PhysMem {
@@ -76,8 +80,11 @@ impl PhysMem {
         buf
     }
 
-    /// Writes one cache line.
+    /// Writes one cache line. Dropped while [frozen](PhysMem::freeze).
     pub fn write_line(&mut self, ppn: Ppn, line: LineIdx, data: &[u8; LINE_SIZE]) {
+        if self.frozen {
+            return;
+        }
         let frame = self.frames.entry(ppn.raw()).or_insert_with(zeroed_frame);
         let off = line.byte_offset();
         frame[off..off + LINE_SIZE].copy_from_slice(data);
@@ -99,7 +106,7 @@ impl PhysMem {
     }
 
     /// Writes `data` starting at `addr`. The range may span lines but must
-    /// not span pages.
+    /// not span pages. Dropped while [frozen](PhysMem::freeze).
     ///
     /// # Panics
     ///
@@ -107,6 +114,9 @@ impl PhysMem {
     pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) {
         let off = addr.page_offset();
         assert!(off + data.len() <= PAGE_SIZE, "write crosses page boundary");
+        if self.frozen {
+            return;
+        }
         let frame = self
             .frames
             .entry(addr.ppn().raw())
@@ -115,8 +125,12 @@ impl PhysMem {
     }
 
     /// Copies one whole page frame (used by consolidation tests and
-    /// page-granularity shadow paging).
+    /// page-granularity shadow paging). Dropped while
+    /// [frozen](PhysMem::freeze).
     pub fn copy_page(&mut self, from: Ppn, to: Ppn) {
+        if self.frozen {
+            return;
+        }
         let src = match self.frames.get(&from.raw()) {
             Some(frame) => frame.clone(),
             None => zeroed_frame(),
@@ -124,10 +138,25 @@ impl PhysMem {
         self.frames.insert(to.raw(), src);
     }
 
+    /// Freezes memory at a power cut: every subsequent write (line, byte
+    /// or page copy) is silently dropped until [`PhysMem::crash`] runs.
+    /// Reads keep working — the simulation above the cut continues
+    /// deterministically, it just can no longer change persistent state.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// True while writes are being dropped after a power cut.
+    pub fn frozen(&self) -> bool {
+        self.frozen
+    }
+
     /// Simulates a power failure: every DRAM frame is discarded; NVRAM
-    /// frames are untouched.
+    /// frames are untouched. Lifts any [freeze](PhysMem::freeze) — the
+    /// power cycle restores a writable memory.
     pub fn crash(&mut self) {
         self.frames.retain(|&ppn, _| ppn >= NVRAM_PPN_BASE);
+        self.frozen = false;
     }
 
     /// Number of frames currently materialised (for capacity accounting).
@@ -257,6 +286,24 @@ mod tests {
         a.write_line(Ppn::new(1), LineIdx::new(0), &[9u8; 64]);
         b.write_line(nv(7), LineIdx::new(0), &[0u8; 64]);
         assert_eq!(a.nvram_fingerprint(), b.nvram_fingerprint());
+    }
+
+    #[test]
+    fn freeze_drops_writes_until_crash() {
+        let mut mem = PhysMem::new();
+        mem.write_line(nv(0), LineIdx::new(0), &[1u8; 64]);
+        mem.freeze();
+        assert!(mem.frozen());
+        mem.write_line(nv(0), LineIdx::new(0), &[2u8; 64]);
+        mem.write_bytes(nv(1).base(), &[3u8; 8]);
+        mem.copy_page(nv(0), nv(2));
+        assert_eq!(mem.read_line(nv(0), LineIdx::new(0)), [1u8; 64]);
+        assert_eq!(mem.read_line(nv(1), LineIdx::new(0)), [0u8; 64]);
+        assert_eq!(mem.read_line(nv(2), LineIdx::new(0)), [0u8; 64]);
+        mem.crash();
+        assert!(!mem.frozen());
+        mem.write_line(nv(1), LineIdx::new(0), &[4u8; 64]);
+        assert_eq!(mem.read_line(nv(1), LineIdx::new(0))[0], 4);
     }
 
     #[test]

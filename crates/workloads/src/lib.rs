@@ -13,6 +13,9 @@
 //! * [`runner`] — the drivers: the sharded `std::thread` driver
 //!   ([`runner::run_parallel`]) and the legacy single-machine round-robin
 //!   driver ([`runner::run`]), both producing [`runner::RunResult`]
+//! * [`storm`] — the crash-storm driver: scheduled power cuts under full
+//!   traffic, oracle-verified recovery after every storm, identical in
+//!   both execution modes
 
 #![warn(missing_docs)]
 
@@ -23,6 +26,7 @@ pub mod kvcache;
 pub mod rbtree;
 pub mod runner;
 pub mod sps;
+pub mod storm;
 pub mod vacation;
 
 pub use btree::{BTree, BTreeWorkload};
@@ -34,4 +38,7 @@ pub use runner::{
     run, run_parallel, ExecMode, ParallelRun, RunConfig, RunResult, ShardRun, Workload,
 };
 pub use sps::Sps;
+pub use storm::{
+    run_epoch_storm, run_storm, OracleEngine, StormPoint, StormRun, StormSchedule, StormShardReport,
+};
 pub use vacation::VacationWorkload;

@@ -243,7 +243,7 @@ pub fn worker_share(total: u64, workers: usize, w: usize) -> u64 {
     total / workers as u64 + u64::from((w as u64) < total % workers as u64)
 }
 
-const SHARD_CORE: CoreId = CoreId::new(0);
+pub(crate) const SHARD_CORE: CoreId = CoreId::new(0);
 
 /// A reusable rendezvous like [`std::sync::Barrier`], except that a
 /// panicking participant can [`poison`](PoisonBarrier::poison) it: every
@@ -252,7 +252,7 @@ const SHARD_CORE: CoreId = CoreId::new(0);
 /// poisoning a single engine panic inside one worker would deadlock the
 /// other workers (and the coordinator) into an indefinite hang — in CI
 /// that is a job timeout with the original panic message never surfaced.
-struct PoisonBarrier {
+pub(crate) struct PoisonBarrier {
     n: usize,
     state: Mutex<PoisonBarrierState>,
     cv: Condvar,
@@ -265,7 +265,7 @@ struct PoisonBarrierState {
 }
 
 impl PoisonBarrier {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             n,
             state: Mutex::new(PoisonBarrierState {
@@ -289,7 +289,7 @@ impl PoisonBarrier {
     /// # Panics
     ///
     /// Panics if the barrier was poisoned (before or while waiting).
-    fn wait(&self) -> bool {
+    pub(crate) fn wait(&self) -> bool {
         let mut st = self.lock();
         assert!(!st.poisoned, "a peer worker thread panicked");
         let generation = st.generation;
@@ -307,7 +307,7 @@ impl PoisonBarrier {
         false
     }
 
-    fn poison(&self) {
+    pub(crate) fn poison(&self) {
         self.lock().poisoned = true;
         self.cv.notify_all();
     }
@@ -316,7 +316,7 @@ impl PoisonBarrier {
 /// Poisons every barrier of the run if the owning thread unwinds, so a
 /// panic anywhere in a worker (or the coordinator) fails the whole run
 /// loudly instead of deadlocking the remaining rendezvous.
-struct PoisonOnPanic<'a>(Vec<&'a PoisonBarrier>);
+pub(crate) struct PoisonOnPanic<'a>(pub(crate) Vec<&'a PoisonBarrier>);
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
@@ -331,21 +331,21 @@ impl Drop for PoisonOnPanic<'_> {
 /// Rendezvous state for the interconnect's epoch arbitration: workers
 /// deposit their event streams, one (arbitrary — the computation is pure)
 /// leader runs the deterministic merge, and everyone picks up its charge.
-struct EpochSync {
-    barrier: PoisonBarrier,
-    state: Mutex<EpochState>,
+pub(crate) struct EpochSync {
+    pub(crate) barrier: PoisonBarrier,
+    pub(crate) state: Mutex<EpochState>,
 }
 
-struct EpochState {
-    interconnect: Option<Interconnect>,
-    streams: Vec<Vec<MemEvent>>,
-    remaining: Vec<u64>,
-    charges: Vec<EpochCharge>,
-    done: bool,
+pub(crate) struct EpochState {
+    pub(crate) interconnect: Option<Interconnect>,
+    pub(crate) streams: Vec<Vec<MemEvent>>,
+    pub(crate) remaining: Vec<u64>,
+    pub(crate) charges: Vec<EpochCharge>,
+    pub(crate) done: bool,
 }
 
 impl EpochSync {
-    fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         Self {
             barrier: PoisonBarrier::new(workers),
             state: Mutex::new(EpochState {

@@ -1,0 +1,838 @@
+//! The crash-storm driver: scheduled power cuts under full workload
+//! traffic, with oracle-verified recovery after every storm.
+//!
+//! A *storm* is one scheduled power cut plus the crash/recovery/verify
+//! sequence it forces. The driver arms [`CrashPoint`]s from a
+//! [`StormSchedule`] — virtual-time deltas or named engine fault sites —
+//! runs the real workloads over sharded engines exactly like
+//! [`runner::run_parallel`](crate::runner::run_parallel), and after every
+//! cut replays recovery and checks the shard against a byte-level
+//! [`Oracle`]. Per-shard operation sequences are identical in
+//! [`ExecMode::Threaded`] and [`ExecMode::Sequential`], so all simulated
+//! counters, data-loss verdicts and NVRAM fingerprints are bit-identical
+//! across modes and across repeated runs for a fixed seed + schedule.
+//!
+//! # Torn-transaction resolution
+//!
+//! The driver polls [`Machine::power_lost`] after every transaction, so a
+//! cut always lands *inside* the transaction just executed (its commit
+//! returned obliviously over frozen memory). Whether that transaction
+//! survived depends on whether the engine's commit mark became durable
+//! before the freeze — the engines guarantee it is all-or-nothing. The
+//! driver therefore builds two oracle candidates, *torn-dropped* and
+//! *torn-kept*, and accepts whichever matches the recovered state. A
+//! transaction matching neither, or any earlier committed transaction
+//! missing, counts as **data loss** ([`StormShardReport::lost_txns`],
+//! which must be zero for every engine).
+//!
+//! # Crash during recovery
+//!
+//! With [`StormSchedule::crash_during_recovery`] set, every storm arms a
+//! [`FaultSite::Recovery`] cut *between* `crash()` and `recover()`: the
+//! first recovery reads its persistent state and is then itself cut short
+//! (its writes are dropped), and a second, clean crash + recovery must
+//! still restore the exact committed prefix — recovery must be idempotent.
+//!
+//! # Interconnect epoch storms
+//!
+//! When the shards enable the cross-shard interconnect, cuts are
+//! restricted to [`FaultSite::EpochBoundary`]: every shard arms the same
+//! schedule, the epoch charge lands exactly once per epoch per shard, so
+//! the power fails on *all* shards at the same epoch boundary (a
+//! machine-wide cut). All shards recover, and the driver rebuilds the
+//! interconnect — post-crash local clocks restart at zero, so the merged
+//! event streams stay monotonic. Mid-epoch cuts are not combined with the
+//! interconnect model.
+//!
+//! [`Machine::power_lost`]: ssp_simulator::machine::Machine::power_lost
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ssp_simulator::addr::{VirtAddr, Vpn};
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::fault::{CrashPoint, FaultSite};
+use ssp_simulator::interconnect::Interconnect;
+use ssp_simulator::machine::Machine;
+use ssp_txn::engine::{TxnEngine, TxnStats};
+use ssp_txn::history::Oracle;
+
+use crate::runner::{
+    worker_seed, worker_share, EpochSync, ExecMode, PoisonOnPanic, RunConfig, Workload, SHARD_CORE,
+};
+
+/// One scheduled cut, relative to the moment it is armed.
+///
+/// Crashing resets the machine's cycle clock to zero, so absolute cycle
+/// targets would be meaningless across storms; [`AfterCycles`] is a
+/// *delta* from the clock at arm time (start of the run or end of the
+/// previous storm's verification).
+///
+/// [`AfterCycles`]: StormPoint::AfterCycles
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormPoint {
+    /// Cut the power once the shard has executed this many further
+    /// cycles.
+    AfterCycles(u64),
+    /// Cut the power at the `hits`-th pass of an engine fault site
+    /// (1-based), counted from arm time.
+    AtSite {
+        /// The engine hook to cut at.
+        site: FaultSite,
+        /// Which pass of the hook cuts (1-based).
+        hits: u32,
+    },
+}
+
+/// A crash schedule for one storm run.
+#[derive(Debug, Clone)]
+pub struct StormSchedule {
+    /// The cuts, armed in order; each fires once, then the next is armed
+    /// after the storm's recovery has been verified.
+    pub points: Vec<StormPoint>,
+    /// Additionally cut every storm's *first* recovery short at
+    /// [`FaultSite::Recovery`], forcing a second, clean recovery.
+    pub crash_during_recovery: bool,
+    /// After the last point, wrap around and keep arming from the first —
+    /// a periodic storm ("crash density") instead of a finite list.
+    pub rearm: bool,
+}
+
+impl StormSchedule {
+    /// A periodic schedule: cut every `period` cycles, forever.
+    pub fn every_cycles(period: u64) -> Self {
+        Self {
+            points: vec![StormPoint::AfterCycles(period)],
+            crash_during_recovery: false,
+            rearm: true,
+        }
+    }
+
+    /// A one-shot schedule cutting at the given site pass.
+    pub fn once_at(site: FaultSite, hits: u32) -> Self {
+        Self {
+            points: vec![StormPoint::AtSite { site, hits }],
+            crash_during_recovery: false,
+            rearm: false,
+        }
+    }
+}
+
+/// What happened on one shard over a whole storm run. Every field is
+/// simulated state — bit-identical across execution modes and repeats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StormShardReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Transactions executed (torn ones included).
+    pub txns: u64,
+    /// Power cuts that tripped (each followed by recovery + verify).
+    pub storms: u64,
+    /// Transactions whose cut landed before the commit mark was durable —
+    /// correctly rolled back by recovery.
+    pub torn_txns: u64,
+    /// Cut transactions whose commit mark survived — correctly kept.
+    pub kept_torn_txns: u64,
+    /// First recoveries that were themselves cut short (only with
+    /// [`StormSchedule::crash_during_recovery`]).
+    pub torn_recoveries: u64,
+    /// Committed transactions missing or corrupted after a recovery.
+    /// **Must be zero for every engine** — the paper's durability claim.
+    pub lost_txns: u64,
+    /// NVRAM line reads performed by recovery (summed over storms).
+    pub recovery_nvram_reads: u64,
+    /// NVRAM line writes performed by recovery (summed over storms).
+    pub recovery_nvram_writes: u64,
+    /// Estimated recovery latency in cycles: NVRAM reads and writes at
+    /// the configured device latencies (summed over storms).
+    pub recovery_cycles_est: u64,
+    /// Workload cycles executed across all power segments (the clock
+    /// resets at each crash; this accumulates the segments).
+    pub elapsed_cycles: u64,
+    /// NVRAM fingerprint of the final durable state (taken at the final
+    /// power-off, before the last recovery).
+    pub fingerprint: u64,
+}
+
+impl StormShardReport {
+    fn merge(&mut self, o: &StormShardReport) {
+        self.txns += o.txns;
+        self.storms += o.storms;
+        self.torn_txns += o.torn_txns;
+        self.kept_torn_txns += o.kept_torn_txns;
+        self.torn_recoveries += o.torn_recoveries;
+        self.lost_txns += o.lost_txns;
+        self.recovery_nvram_reads += o.recovery_nvram_reads;
+        self.recovery_nvram_writes += o.recovery_nvram_writes;
+        self.recovery_cycles_est += o.recovery_cycles_est;
+        self.elapsed_cycles = self.elapsed_cycles.max(o.elapsed_cycles);
+    }
+}
+
+/// Result of a storm run: per-shard reports in worker order.
+#[derive(Debug, Clone)]
+pub struct StormRun {
+    /// Per-shard reports, worker-index order.
+    pub shards: Vec<StormShardReport>,
+}
+
+impl StormRun {
+    /// Sums the shard counters (elapsed is the max — wall-clock).
+    pub fn totals(&self) -> StormShardReport {
+        let mut t = StormShardReport::default();
+        for s in &self.shards {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Order-dependent fold of the shard fingerprints — one number that
+    /// changes if any shard's final durable state changes.
+    pub fn combined_fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for s in &self.shards {
+            for b in s.fingerprint.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+}
+
+/// A [`TxnEngine`] wrapper that mirrors every store into an [`Oracle`]
+/// while recording is on. The storm driver wraps each shard's engine so
+/// workloads need no oracle plumbing of their own.
+#[derive(Debug, Clone)]
+pub struct OracleEngine<E> {
+    inner: E,
+    oracle: Oracle,
+    recording: bool,
+}
+
+impl<E: TxnEngine> OracleEngine<E> {
+    /// Wraps `inner`; recording starts **off** (workload setup is not
+    /// oracle-checked — it runs before any cut can be armed).
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            oracle: Oracle::new(),
+            recording: false,
+        }
+    }
+
+    /// Turns store recording on or off.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// The oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Mutable access to the oracle (the driver folds commits and
+    /// resolves torn transactions).
+    pub fn oracle_mut(&mut self) -> &mut Oracle {
+        &mut self.oracle
+    }
+
+    /// Replaces the oracle (torn-transaction resolution installs the
+    /// accepted candidate).
+    pub fn set_oracle(&mut self, oracle: Oracle) {
+        self.oracle = oracle;
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: TxnEngine> TxnEngine for OracleEngine<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn machine(&self) -> &Machine {
+        self.inner.machine()
+    }
+    fn machine_mut(&mut self) -> &mut Machine {
+        self.inner.machine_mut()
+    }
+    fn map_new_page(&mut self, core: CoreId) -> Vpn {
+        self.inner.map_new_page(core)
+    }
+    fn begin(&mut self, core: CoreId) {
+        self.inner.begin(core);
+    }
+    fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
+        self.inner.load(core, addr, buf);
+    }
+    fn store(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
+        if self.recording {
+            self.oracle.record_store(core, addr, data);
+        }
+        self.inner.store(core, addr, data);
+    }
+    fn commit(&mut self, core: CoreId) {
+        self.inner.commit(core);
+    }
+    fn abort(&mut self, core: CoreId) {
+        self.oracle.on_abort(core);
+        self.inner.abort(core);
+    }
+    fn crash(&mut self) {
+        self.inner.crash();
+    }
+    fn recover(&mut self) {
+        self.inner.recover();
+    }
+    fn in_txn(&self, core: CoreId) -> bool {
+        self.inner.in_txn(core)
+    }
+    fn txn_stats(&self) -> &TxnStats {
+        self.inner.txn_stats()
+    }
+}
+
+/// One shard of a storm run: engine (oracle-wrapped), workload, RNG,
+/// schedule cursor, and the accumulating report.
+struct StormWorker<E, W> {
+    engine: OracleEngine<E>,
+    workload: W,
+    rng: SmallRng,
+    schedule: StormSchedule,
+    /// Index of the next schedule point to arm.
+    next_point: usize,
+    /// Cycle count at the start of the current power segment (the clock
+    /// resets at each crash; elapsed accumulates segments).
+    seg_base: u64,
+    report: StormShardReport,
+}
+
+impl<E: TxnEngine, W: Workload> StormWorker<E, W> {
+    fn new(engine: E, workload: W, cfg: &RunConfig, schedule: &StormSchedule, w: usize) -> Self {
+        Self {
+            engine: OracleEngine::new(engine),
+            workload,
+            rng: SmallRng::seed_from_u64(worker_seed(cfg.seed, w)),
+            schedule: schedule.clone(),
+            next_point: 0,
+            seg_base: 0,
+            report: StormShardReport {
+                worker: w,
+                ..StormShardReport::default()
+            },
+        }
+    }
+
+    /// Workload setup (not oracle-checked, no cuts armed), then arm the
+    /// first point.
+    fn prepare(&mut self) {
+        self.workload.setup(&mut self.engine, SHARD_CORE);
+        self.engine.set_recording(true);
+        self.seg_base = self.engine.machine().cycles(SHARD_CORE);
+        self.arm_next();
+    }
+
+    /// Arms the next schedule point, translating cycle deltas against the
+    /// current clock. Consumed points re-arm only with
+    /// [`StormSchedule::rearm`].
+    fn arm_next(&mut self) {
+        let n = self.schedule.points.len();
+        if n == 0 {
+            return;
+        }
+        let idx = if self.schedule.rearm {
+            self.next_point % n
+        } else if self.next_point < n {
+            self.next_point
+        } else {
+            return;
+        };
+        let point = match self.schedule.points[idx] {
+            StormPoint::AfterCycles(delta) => {
+                CrashPoint::AtCycle(self.engine.machine().cycles(SHARD_CORE) + delta)
+            }
+            StormPoint::AtSite { site, hits } => CrashPoint::AtSite { site, hits },
+        };
+        self.engine.machine_mut().arm_crash(point);
+    }
+
+    /// Runs one transaction and, if the power failed inside it, the full
+    /// storm sequence (crash, recovery — possibly itself cut —, oracle
+    /// verification, re-arm).
+    fn storm_txn(&mut self) {
+        self.engine.begin(SHARD_CORE);
+        self.workload
+            .run_txn(&mut self.engine, SHARD_CORE, &mut self.rng);
+        self.engine.commit(SHARD_CORE);
+        self.report.txns += 1;
+        if self.engine.machine().power_lost() {
+            self.storm_recover(true);
+        } else {
+            self.engine.oracle_mut().on_commit(SHARD_CORE);
+        }
+    }
+
+    /// Crash + recover + verify after a power cut. `torn_txn` says a
+    /// transaction was in flight when the cut landed (false for
+    /// epoch-boundary cuts, which land between transactions).
+    fn storm_recover(&mut self, torn_txn: bool) {
+        self.report.storms += 1;
+        // Two candidates for the post-recovery state: the cut transaction
+        // rolled back, or kept (its commit mark beat the freeze). The
+        // engines guarantee one of them — anything else is data loss.
+        let mut dropped = self.engine.oracle().clone();
+        dropped.on_crash();
+        let mut kept = self.engine.oracle().clone();
+        kept.on_commit(SHARD_CORE);
+        kept.on_crash();
+
+        self.report.elapsed_cycles += self.engine.machine().cycles(SHARD_CORE)
+            - self.seg_base.min(self.engine.machine().cycles(SHARD_CORE));
+        self.engine.crash();
+        if self.schedule.crash_during_recovery {
+            self.engine.machine_mut().arm_crash(CrashPoint::AtSite {
+                site: FaultSite::Recovery,
+                hits: 1,
+            });
+        }
+        self.run_recovery();
+        if self.engine.machine().power_lost() {
+            // The recovery itself was cut short; its writes were dropped.
+            // A second, clean pass must succeed from the same NVRAM image.
+            self.report.torn_recoveries += 1;
+            self.engine.crash();
+            self.run_recovery();
+        }
+
+        let drop_ok = dropped.verify(&mut self.engine, SHARD_CORE).is_ok();
+        let accepted = if drop_ok {
+            // Both candidates passing means the cut transaction's effect
+            // is indistinguishable (e.g. it rewrote identical bytes);
+            // treat as dropped.
+            if torn_txn {
+                self.report.torn_txns += 1;
+            }
+            dropped
+        } else if kept.verify(&mut self.engine, SHARD_CORE).is_ok() {
+            if torn_txn {
+                self.report.kept_torn_txns += 1;
+            }
+            kept
+        } else {
+            // Neither candidate matches: a committed transaction is gone
+            // or corrupted. Record the loss and continue from the
+            // conservative candidate so the run still completes.
+            self.report.lost_txns += 1;
+            dropped
+        };
+        self.engine.set_oracle(accepted);
+        self.seg_base = self.engine.machine().cycles(SHARD_CORE);
+        self.next_point += 1;
+        self.arm_next();
+    }
+
+    /// Runs `recover()` with the stats window needed for the recovery
+    /// metrics (NVRAM traffic and the latency estimate).
+    fn run_recovery(&mut self) {
+        let before = self.engine.machine().stats().clone();
+        self.engine.recover();
+        let d = self.engine.machine().stats().diff(&before);
+        let cfg = self.engine.machine().config();
+        let est = d.nvram_reads * cfg.ns_to_cycles(cfg.nvram.read_ns)
+            + d.nvram_writes_total() * cfg.ns_to_cycles(cfg.nvram.write_ns);
+        self.report.recovery_nvram_reads += d.nvram_reads;
+        self.report.recovery_nvram_writes += d.nvram_writes_total();
+        self.report.recovery_cycles_est += est;
+    }
+
+    /// Final quiesce: disarm, power off, fingerprint the durable image,
+    /// recover, and verify one last time.
+    fn finish(mut self) -> StormShardReport {
+        self.engine.machine_mut().disarm_crash();
+        let now = self.engine.machine().cycles(SHARD_CORE);
+        self.report.elapsed_cycles += now - self.seg_base.min(now);
+        self.engine.crash();
+        self.engine.oracle_mut().on_crash();
+        self.report.fingerprint = self.engine.machine().nvram_fingerprint();
+        self.run_recovery();
+        let oracle = self.engine.oracle().clone();
+        if oracle.verify(&mut self.engine, SHARD_CORE).is_err() {
+            self.report.lost_txns += 1;
+        }
+        self.report
+    }
+}
+
+/// Runs a crash storm over `cfg.threads` independent engine shards under
+/// the given workload and schedule. Shards interact with nothing (the
+/// interconnect must be disabled — see [`run_epoch_storm`] for the
+/// epoch-boundary variant), so [`ExecMode::Threaded`] runs them on real
+/// threads and [`ExecMode::Sequential`] interleaves the identical
+/// per-shard schedules round-robin on the calling thread, with
+/// bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero, a worker thread panics, or the
+/// machine config enables the interconnect.
+pub fn run_storm<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    schedule: &StormSchedule,
+) -> StormRun
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    assert!(cfg.threads >= 1, "at least one worker");
+    let build = |w: usize| {
+        let worker = StormWorker::new(mk_engine(w), mk_workload(w), cfg, schedule, w);
+        assert!(
+            !worker.engine.machine().config().interconnect.enabled,
+            "run_storm requires the interconnect disabled; use run_epoch_storm"
+        );
+        worker
+    };
+    let shards = match cfg.mode {
+        ExecMode::Threaded => std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.threads)
+                .map(|w| {
+                    let build = &build;
+                    scope.spawn(move || {
+                        let mut worker = build(w);
+                        worker.prepare();
+                        for _ in 0..worker_share(cfg.txns, cfg.threads, w) {
+                            worker.storm_txn();
+                        }
+                        worker.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("storm worker panicked"))
+                .collect()
+        }),
+        ExecMode::Sequential => {
+            // The reference schedule: round-robin at transaction
+            // granularity, like the runner's sequential mode. Shards are
+            // independent, so this replays the identical per-shard
+            // operation sequences the threaded mode runs.
+            let mut workers: Vec<StormWorker<E, W>> = (0..cfg.threads).map(build).collect();
+            for worker in &mut workers {
+                worker.prepare();
+            }
+            let mut remaining: Vec<u64> = (0..cfg.threads)
+                .map(|w| worker_share(cfg.txns, cfg.threads, w))
+                .collect();
+            while remaining.iter().any(|&r| r > 0) {
+                for (w, worker) in workers.iter_mut().enumerate() {
+                    if remaining[w] > 0 {
+                        worker.storm_txn();
+                        remaining[w] -= 1;
+                    }
+                }
+            }
+            workers.into_iter().map(StormWorker::finish).collect()
+        }
+    };
+    StormRun { shards }
+}
+
+/// Runs a crash storm under the cross-shard interconnect, with cuts at
+/// epoch boundaries only: every shard arms the same schedule (which must
+/// consist of [`FaultSite::EpochBoundary`] site points), the epoch charge
+/// lands once per epoch per shard, so the power fails on every shard at
+/// the same boundary. All shards crash, recover and verify; the
+/// interconnect is rebuilt for the next power segment. Threaded and
+/// sequential modes are bit-identical, like
+/// [`run_parallel`](crate::runner::run_parallel).
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero, a worker thread panics, the machine
+/// config does **not** enable the interconnect, or the schedule contains
+/// non-[`FaultSite::EpochBoundary`] points.
+pub fn run_epoch_storm<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    schedule: &StormSchedule,
+) -> StormRun
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    assert!(cfg.threads >= 1, "at least one worker");
+    assert!(
+        schedule.points.iter().all(|p| matches!(
+            p,
+            StormPoint::AtSite {
+                site: FaultSite::EpochBoundary,
+                ..
+            }
+        )),
+        "epoch storms cut at epoch boundaries only"
+    );
+    let build = |w: usize| {
+        let worker = StormWorker::new(mk_engine(w), mk_workload(w), cfg, schedule, w);
+        assert!(
+            worker.engine.machine().config().interconnect.enabled,
+            "run_epoch_storm requires the interconnect enabled"
+        );
+        worker
+    };
+    let epoch_cycles = {
+        let probe = mk_engine(0);
+        probe.machine().config().interconnect.epoch_cycles.max(1)
+    };
+    let shards = match cfg.mode {
+        ExecMode::Threaded => {
+            let sync = EpochSync::new(cfg.threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..cfg.threads)
+                    .map(|w| {
+                        let (build, sync) = (&build, &sync);
+                        scope.spawn(move || {
+                            let _poison = PoisonOnPanic(vec![&sync.barrier]);
+                            let mut worker = build(w);
+                            worker.prepare();
+                            let mut remaining = worker_share(cfg.txns, cfg.threads, w);
+                            let mut target =
+                                worker.engine.machine().cycles(SHARD_CORE) + epoch_cycles;
+                            loop {
+                                remaining = worker.run_epoch(remaining, target);
+                                {
+                                    let mut st = sync.state.lock().expect("epoch state poisoned");
+                                    worker
+                                        .engine
+                                        .machine_mut()
+                                        .take_mem_events_into(&mut st.streams[w]);
+                                    st.remaining[w] = remaining;
+                                }
+                                if sync.barrier.wait() {
+                                    let mut st = sync.state.lock().expect("epoch state poisoned");
+                                    let st = &mut *st;
+                                    let shards = st.streams.len();
+                                    let ic = st.interconnect.get_or_insert_with(|| {
+                                        Interconnect::new(worker.engine.machine().config(), shards)
+                                    });
+                                    st.charges = ic.arbitrate(&st.streams);
+                                    st.done = st.remaining.iter().all(|&r| r == 0);
+                                }
+                                sync.barrier.wait();
+                                let (charge, done) = {
+                                    let st = sync.state.lock().expect("epoch state poisoned");
+                                    (st.charges[w], st.done)
+                                };
+                                worker
+                                    .engine
+                                    .machine_mut()
+                                    .apply_epoch_charge(SHARD_CORE, &charge);
+                                // Identical schedules + one charge per epoch
+                                // per shard: either every shard tripped at
+                                // this boundary or none did.
+                                let tripped = worker.engine.machine().power_lost();
+                                if tripped {
+                                    worker.storm_recover(false);
+                                    worker.engine.machine_mut().discard_mem_events();
+                                }
+                                if sync.barrier.wait() && tripped {
+                                    // Power cycled machine-wide: the shared
+                                    // controller's queues are gone too.
+                                    let mut st = sync.state.lock().expect("epoch state poisoned");
+                                    st.interconnect = None;
+                                }
+                                sync.barrier.wait();
+                                if done {
+                                    break;
+                                }
+                                target = if tripped {
+                                    worker.engine.machine().cycles(SHARD_CORE) + epoch_cycles
+                                } else {
+                                    target + epoch_cycles
+                                };
+                            }
+                            worker.finish()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("storm worker panicked"))
+                    .collect()
+            })
+        }
+        ExecMode::Sequential => {
+            let mut workers: Vec<StormWorker<E, W>> = (0..cfg.threads).map(build).collect();
+            for worker in &mut workers {
+                worker.prepare();
+            }
+            let mut remaining: Vec<u64> = (0..cfg.threads)
+                .map(|w| worker_share(cfg.txns, cfg.threads, w))
+                .collect();
+            let mut targets: Vec<u64> = workers
+                .iter()
+                .map(|wk| wk.engine.machine().cycles(SHARD_CORE) + epoch_cycles)
+                .collect();
+            let mut ic: Option<Interconnect> = None;
+            let mut streams = vec![Vec::new(); cfg.threads];
+            loop {
+                for (w, worker) in workers.iter_mut().enumerate() {
+                    remaining[w] = worker.run_epoch(remaining[w], targets[w]);
+                    worker
+                        .engine
+                        .machine_mut()
+                        .take_mem_events_into(&mut streams[w]);
+                }
+                let charges = {
+                    let ic = ic.get_or_insert_with(|| {
+                        Interconnect::new(workers[0].engine.machine().config(), cfg.threads)
+                    });
+                    ic.arbitrate(&streams)
+                };
+                let done = remaining.iter().all(|&r| r == 0);
+                let mut tripped = false;
+                for (w, worker) in workers.iter_mut().enumerate() {
+                    worker
+                        .engine
+                        .machine_mut()
+                        .apply_epoch_charge(SHARD_CORE, &charges[w]);
+                    if worker.engine.machine().power_lost() {
+                        worker.storm_recover(false);
+                        worker.engine.machine_mut().discard_mem_events();
+                        tripped = true;
+                    }
+                }
+                if tripped {
+                    ic = None;
+                }
+                if done {
+                    break;
+                }
+                for (w, worker) in workers.iter().enumerate() {
+                    targets[w] = if tripped {
+                        worker.engine.machine().cycles(SHARD_CORE) + epoch_cycles
+                    } else {
+                        targets[w] + epoch_cycles
+                    };
+                }
+            }
+            workers.into_iter().map(StormWorker::finish).collect()
+        }
+    };
+    StormRun { shards }
+}
+
+impl<E: TxnEngine, W: Workload> StormWorker<E, W> {
+    /// Runs transactions until the local clock reaches `target` or the
+    /// share is exhausted (the epoch protocol's inner loop). Epoch cuts
+    /// land only at boundaries, so no transaction here can be torn.
+    fn run_epoch(&mut self, remaining: u64, target: u64) -> u64 {
+        let mut remaining = remaining;
+        while remaining > 0 && self.engine.machine().cycles(SHARD_CORE) < target {
+            self.storm_txn();
+            remaining -= 1;
+        }
+        remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::KeyDist;
+    use crate::sps::Sps;
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+
+    fn small_cfg(mode: ExecMode, threads: usize) -> RunConfig {
+        RunConfig {
+            txns: 120,
+            warmup: 0,
+            threads,
+            seed: 0x0057_0411,
+            mode,
+        }
+    }
+
+    fn run(mode: ExecMode, schedule: &StormSchedule) -> StormRun {
+        let cfg = small_cfg(mode, 2);
+        run_storm(
+            |_| {
+                Ssp::new(
+                    MachineConfig::default().shard_slice(2),
+                    SspConfig::default(),
+                )
+            },
+            |_| Sps::new(256, KeyDist::uniform(256)),
+            &cfg,
+            schedule,
+        )
+    }
+
+    #[test]
+    fn periodic_storm_trips_and_loses_nothing() {
+        let schedule = StormSchedule::every_cycles(5_000);
+        let run = run(ExecMode::Threaded, &schedule);
+        let t = run.totals();
+        assert!(t.storms > 0, "no storm tripped: {t:?}");
+        assert_eq!(t.lost_txns, 0, "{t:?}");
+        assert!(t.recovery_nvram_reads + t.recovery_nvram_writes > 0);
+        assert!(t.recovery_cycles_est > 0);
+    }
+
+    #[test]
+    fn threaded_and_sequential_storms_are_bit_identical() {
+        let schedule = StormSchedule::every_cycles(7_000);
+        let a = run(ExecMode::Threaded, &schedule);
+        let b = run(ExecMode::Sequential, &schedule);
+        assert_eq!(a.shards, b.shards);
+        assert_eq!(a.combined_fingerprint(), b.combined_fingerprint());
+    }
+
+    #[test]
+    fn commit_mark_cut_keeps_the_transaction() {
+        let schedule = StormSchedule::once_at(FaultSite::CommitMark, 40);
+        let run = run(ExecMode::Sequential, &schedule);
+        let t = run.totals();
+        assert_eq!(t.storms, 2); // one per shard
+        assert_eq!(t.kept_torn_txns, 2);
+        assert_eq!(t.torn_txns, 0);
+        assert_eq!(t.lost_txns, 0);
+    }
+
+    #[test]
+    fn commit_data_cut_rolls_the_transaction_back() {
+        let schedule = StormSchedule::once_at(FaultSite::CommitData, 40);
+        let run = run(ExecMode::Sequential, &schedule);
+        let t = run.totals();
+        assert_eq!(t.storms, 2);
+        assert_eq!(t.torn_txns, 2);
+        assert_eq!(t.kept_torn_txns, 0);
+        assert_eq!(t.lost_txns, 0);
+    }
+
+    #[test]
+    fn crash_during_recovery_still_recovers() {
+        let schedule = StormSchedule {
+            points: vec![StormPoint::AfterCycles(9_000)],
+            crash_during_recovery: true,
+            rearm: true,
+        };
+        let run = run(ExecMode::Threaded, &schedule);
+        let t = run.totals();
+        assert!(t.storms > 0);
+        assert_eq!(t.torn_recoveries, t.storms, "every first recovery cut");
+        assert_eq!(t.lost_txns, 0);
+    }
+}

@@ -9,6 +9,7 @@ use ssp::core::engine::Ssp;
 use ssp::simulator::addr::VirtAddr;
 use ssp::simulator::cache::CoreId;
 use ssp::simulator::config::MachineConfig;
+use ssp::simulator::fault::{CrashPoint, FaultSite};
 use ssp::txn::engine::TxnEngine;
 use ssp::SspConfig;
 
@@ -79,6 +80,66 @@ fn apply<E: TxnEngine>(engine: &mut E, ops: &[Op]) -> Vec<u64> {
     digest
 }
 
+fn arm_point<E: TxnEngine>(engine: &mut E, schedule: &[(FaultSite, u32)], i: usize) {
+    if let Some(&(site, hits)) = schedule.get(i) {
+        engine
+            .machine_mut()
+            .arm_crash(CrashPoint::AtSite { site, hits });
+    }
+}
+
+/// Applies a trace while an identical site-based crash schedule is armed.
+///
+/// Each schedule entry cuts power at the k-th hit of a commit-path fault
+/// site; on a trip the engine is crashed and recovered and the next entry
+/// is armed. Because every engine places `CommitData` before its durable
+/// commit mark and `CommitMark` after it, all four engines must recover
+/// to the identical state at every cut.
+fn apply_with_cut_schedule<E: TxnEngine>(
+    engine: &mut E,
+    ops: &[Op],
+    schedule: &[(FaultSite, u32)],
+) -> Vec<u64> {
+    let pages: Vec<VirtAddr> = (0..4).map(|_| engine.map_new_page(C0).base()).collect();
+    let mut next = 0usize;
+    arm_point(engine, schedule, next);
+    for op in ops {
+        match *op {
+            Op::Begin => engine.begin(C0),
+            Op::Store {
+                page,
+                offset,
+                value,
+            } => engine.store(C0, pages[page].add(offset), &value.to_le_bytes()),
+            Op::Commit => engine.commit(C0),
+            Op::Abort => engine.abort(C0),
+            Op::Crash => {
+                engine.crash_and_recover();
+                // `crash()` clears the armed point; keep the storm alive.
+                arm_point(engine, schedule, next);
+            }
+        }
+        if engine.machine().power_lost() {
+            engine.crash();
+            engine.recover();
+            next += 1;
+            arm_point(engine, schedule, next);
+        }
+    }
+    if engine.in_txn(C0) {
+        engine.abort(C0);
+    }
+    let mut digest = Vec::new();
+    for &p in &pages {
+        for slot in 0..512u64 {
+            let mut buf = [0u8; 8];
+            engine.load(C0, p.add(slot * 8), &mut buf);
+            digest.push(u64::from_le_bytes(buf));
+        }
+    }
+    digest
+}
+
 fn check_equivalence(seed: u64) {
     let ops = random_trace(seed, 25);
     let cfg = MachineConfig::default();
@@ -129,6 +190,91 @@ fn engines_agree_with_frequent_crashes() {
         assert_eq!(d_ssp, d_undo, "seed {seed}");
         assert_eq!(d_ssp, d_redo, "seed {seed}");
     }
+}
+
+/// The crash-storm differential: identical trace + identical site-based
+/// crash schedule must leave all four engines in the identical state.
+#[test]
+fn engines_agree_under_identical_crash_schedules() {
+    let schedule = [
+        (FaultSite::CommitData, 3),
+        (FaultSite::CommitMark, 2),
+        (FaultSite::CommitData, 5),
+        (FaultSite::CommitMark, 4),
+    ];
+    for seed in [11, 77, 4242] {
+        let ops = random_trace(seed, 30);
+        let cfg = MachineConfig::default();
+
+        let mut ssp = Ssp::new(cfg.clone(), SspConfig::default());
+        let d_ssp = apply_with_cut_schedule(&mut ssp, &ops, &schedule);
+
+        let mut undo = UndoLog::new(cfg.clone());
+        let d_undo = apply_with_cut_schedule(&mut undo, &ops, &schedule);
+
+        let mut redo = RedoLog::new(cfg.clone());
+        let d_redo = apply_with_cut_schedule(&mut redo, &ops, &schedule);
+
+        let mut shadow = ShadowPaging::new(cfg);
+        let d_shadow = apply_with_cut_schedule(&mut shadow, &ops, &schedule);
+
+        assert_eq!(d_ssp, d_undo, "SSP vs UNDO-LOG diverged (seed {seed})");
+        assert_eq!(d_ssp, d_redo, "SSP vs REDO-LOG diverged (seed {seed})");
+        assert_eq!(d_ssp, d_shadow, "SSP vs SHADOW diverged (seed {seed})");
+    }
+}
+
+/// Cut semantics are site-defined, not engine-defined: a cut at
+/// `CommitData` (before the durable mark) drops the torn transaction in
+/// every engine, and a cut at `CommitMark` (after it) keeps it.
+#[test]
+fn commit_site_cuts_have_the_same_keep_drop_semantics_everywhere() {
+    fn probe<E: TxnEngine>(engine: &mut E, name: &str) {
+        let p = engine.map_new_page(C0).base();
+        engine.begin(C0);
+        engine.store(C0, p, &1u64.to_le_bytes());
+        engine.commit(C0);
+
+        engine.machine_mut().arm_crash(CrashPoint::AtSite {
+            site: FaultSite::CommitData,
+            hits: 1,
+        });
+        engine.begin(C0);
+        engine.store(C0, p, &2u64.to_le_bytes());
+        engine.commit(C0);
+        assert!(engine.machine().power_lost(), "{name}: CommitData not hit");
+        engine.crash();
+        engine.recover();
+        let mut buf = [0u8; 8];
+        engine.load(C0, p, &mut buf);
+        assert_eq!(
+            u64::from_le_bytes(buf),
+            1,
+            "{name}: a CommitData cut must drop the torn transaction"
+        );
+
+        engine.machine_mut().arm_crash(CrashPoint::AtSite {
+            site: FaultSite::CommitMark,
+            hits: 1,
+        });
+        engine.begin(C0);
+        engine.store(C0, p, &3u64.to_le_bytes());
+        engine.commit(C0);
+        assert!(engine.machine().power_lost(), "{name}: CommitMark not hit");
+        engine.crash();
+        engine.recover();
+        engine.load(C0, p, &mut buf);
+        assert_eq!(
+            u64::from_le_bytes(buf),
+            3,
+            "{name}: a CommitMark cut must keep the committed transaction"
+        );
+    }
+    let cfg = MachineConfig::default();
+    probe(&mut Ssp::new(cfg.clone(), SspConfig::default()), "SSP");
+    probe(&mut UndoLog::new(cfg.clone()), "UNDO");
+    probe(&mut RedoLog::new(cfg.clone()), "REDO");
+    probe(&mut ShadowPaging::new(cfg), "SHADOW");
 }
 
 #[test]
