@@ -1,36 +1,96 @@
-//! Per-bank FIFO queue state for the shared memory interconnect.
+//! Per-bank queue state for the shared memory interconnect.
 //!
-//! A [`BankGroup`] is one set of memory banks behind a channel group of the
-//! [`interconnect`](crate::interconnect): every bank serves one access at a
-//! time (a FIFO of depth one is enough because the arbiter replays events
-//! in a deterministic global order), keeps an open-row buffer, remembers
-//! which shard occupied it last, and reports how long an access had to
-//! queue behind the bank's previous occupant.
+//! Two arbitration disciplines live here, selected by
+//! [`InterconnectConfig::fair`](crate::config::InterconnectConfig::fair):
+//!
+//! * [`BankGroup`] — the original FIFO: the arbiter replays events in its
+//!   deterministic global merge order and each bank serves them
+//!   first-come-first-served. Unbounded: a shard that floods a bank with
+//!   early timestamps monopolizes it, which is exactly the fig5b
+//!   saturation collapse.
+//! * [`FairBanks`] — fair, bounded arbitration: per-bank round-robin
+//!   grants among the shards that have a request waiting, plus a
+//!   per-(bank, shard) in-flight cap that defers a shard's excess
+//!   requests at its controller port (back-pressure paced into the
+//!   shard's own stream, not charged to its clock).
+//!
+//! Both disciplines attribute an access's wait *by occupancy*: each bank
+//! remembers the `(start, end, owner)` segments of its recent busy window
+//! and a wait is split into the portion spent behind **other shards'**
+//! segments (`cross_cycles`, charged back to the issuing shard) and the
+//! portion behind the shard's own backlog (already priced by the shard's
+//! local timing model). The old model classified the whole wait by the
+//! bank's single `last_owner`, which mis-attributed waits behind a mixed
+//! backlog.
 //!
 //! All times are in core cycles on the merged virtual timeline the
 //! arbiter constructs from the shards' local clocks.
 
+use std::collections::VecDeque;
+
 /// Outcome of routing one access through a bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankAccess {
-    /// Cycles the access waited for the bank to become free.
+    /// Cycles the access waited for the bank to become free (after any
+    /// in-flight-cap deferral; see `deferred_cycles`).
     pub queued_cycles: u64,
-    /// Whether the wait was behind *another* shard's access. Only these
-    /// waits are charged back to the issuing shard's clock — queueing
-    /// behind one's own traffic is already covered by the shard's local
-    /// timing model.
-    pub cross_shard: bool,
+    /// The portion of `queued_cycles` spent behind *other* shards'
+    /// occupancy of the bank. Only this portion is charged back to the
+    /// issuing shard's clock — queueing behind one's own traffic is
+    /// already covered by the shard's local timing model.
+    pub cross_cycles: u64,
+    /// Cycles the request was held at the shard's controller port by the
+    /// per-shard in-flight cap before it could even enter the bank queue.
+    /// Fed back as port back-pressure (pacing), never as a clock charge.
+    /// Always zero under FIFO arbitration.
+    pub deferred_cycles: u64,
     /// Whether the access hit the bank's open row buffer.
     pub row_hit: bool,
 }
 
-/// One group of banks: per-bank busy-until time, open-row tag, and the
-/// shard that used the bank last.
+/// One `(start, end)` window of bank occupancy and the shard that held it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Seg {
+    start: u64,
+    end: u64,
+    owner: usize,
+}
+
+/// Sum of the overlap between the wait window `[from, to)` and the
+/// segments owned by shards other than `owner`.
+fn foreign_overlap(segs: &VecDeque<Seg>, from: u64, to: u64, owner: usize) -> u64 {
+    let mut cross = 0;
+    for seg in segs {
+        if seg.owner == owner || seg.end <= from {
+            continue;
+        }
+        if seg.start >= to {
+            break;
+        }
+        cross += seg.end.min(to) - seg.start.max(from);
+    }
+    cross
+}
+
+/// Appends `[start, end)` for `owner`, coalescing with a contiguous
+/// same-owner tail so a shard's own backlog stays one segment.
+fn push_seg(segs: &mut VecDeque<Seg>, start: u64, end: u64, owner: usize) {
+    if let Some(last) = segs.back_mut() {
+        if last.owner == owner && last.end == start {
+            last.end = end;
+            return;
+        }
+    }
+    segs.push_back(Seg { start, end, owner });
+}
+
+/// One group of banks under FIFO arbitration: per-bank busy-until time,
+/// open-row tag, and the recent occupancy segments for wait attribution.
 #[derive(Debug, Clone)]
 pub struct BankGroup {
     free_at: Vec<u64>,
     open_row: Vec<Option<u64>>,
-    last_owner: Vec<Option<usize>>,
+    segs: Vec<VecDeque<Seg>>,
 }
 
 impl BankGroup {
@@ -44,7 +104,7 @@ impl BankGroup {
         Self {
             free_at: vec![0; banks],
             open_row: vec![None; banks],
-            last_owner: vec![None; banks],
+            segs: vec![VecDeque::new(); banks],
         }
     }
 
@@ -56,8 +116,8 @@ impl BankGroup {
     /// Routes shard `owner`'s access arriving at merged time `at` for
     /// `row_tag` through the group. The bank is `row_tag % banks`; a
     /// row-buffer hit costs `service_hit` cycles of bank occupancy, a
-    /// miss `service_miss`. A nonzero wait is attributed to the bank's
-    /// previous occupant.
+    /// miss `service_miss`. The wait is split between own and foreign
+    /// occupancy of the bank over the `[at, start)` window.
     pub fn access(
         &mut self,
         owner: usize,
@@ -71,13 +131,20 @@ impl BankGroup {
         let service = if row_hit { service_hit } else { service_miss };
         let start = at.max(self.free_at[bank]);
         let queued_cycles = start - at;
-        let cross_shard = queued_cycles > 0 && self.last_owner[bank] != Some(owner);
+        let segs = &mut self.segs[bank];
+        // The merge feeds accesses in nondecreasing `at`, so segments
+        // ending at or before this arrival can never matter again.
+        while segs.front().is_some_and(|s| s.end <= at) {
+            segs.pop_front();
+        }
+        let cross_cycles = foreign_overlap(segs, at, start, owner);
         self.free_at[bank] = start + service;
         self.open_row[bank] = Some(row_tag);
-        self.last_owner[bank] = Some(owner);
+        push_seg(segs, start, start + service, owner);
         BankAccess {
             queued_cycles,
-            cross_shard,
+            cross_cycles,
+            deferred_cycles: 0,
             row_hit,
         }
     }
@@ -85,6 +152,204 @@ impl BankGroup {
     /// Latest busy-until time across the group (diagnostics).
     pub fn busy_until(&self) -> u64 {
         self.free_at.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// One request waiting at a fair bank.
+#[derive(Debug, Clone, Copy)]
+struct FairReq {
+    at: u64,
+    row_tag: u64,
+    service_hit: u64,
+    service_miss: u64,
+}
+
+/// One bank under fair arbitration: carries its busy/open-row/segment
+/// state *and* the round-robin cursor and per-shard in-flight windows
+/// across epochs.
+#[derive(Debug, Clone)]
+struct FairBank {
+    free_at: u64,
+    open_row: Option<u64>,
+    /// Shard granted most recently; the next grant scans from here.
+    last_grant: usize,
+    segs: VecDeque<Seg>,
+    /// Completion times of each shard's last `max_inflight` grants; the
+    /// front is what the shard's next request must wait for when the cap
+    /// is full.
+    grants: Vec<VecDeque<u64>>,
+    /// Per-shard FIFO of this epoch's requests (drained every epoch).
+    queue: Vec<VecDeque<FairReq>>,
+}
+
+impl FairBank {
+    fn new(shards: usize) -> Self {
+        Self {
+            free_at: 0,
+            open_row: None,
+            last_grant: 0,
+            segs: VecDeque::new(),
+            grants: vec![VecDeque::new(); shards],
+            queue: vec![VecDeque::new(); shards],
+        }
+    }
+
+    /// Effective arrival of shard `s`'s request issued at `at`: the cap
+    /// holds it at the port until the shard's `max_inflight`-th previous
+    /// grant at this bank has completed.
+    fn eff(&self, s: usize, at: u64, max_inflight: usize) -> u64 {
+        if max_inflight > 0 && self.grants[s].len() == max_inflight {
+            at.max(*self.grants[s].front().expect("cap deque is full"))
+        } else {
+            at
+        }
+    }
+
+    fn drain(
+        &mut self,
+        shards: usize,
+        max_inflight: usize,
+        sink: &mut impl FnMut(usize, BankAccess),
+    ) {
+        loop {
+            // Earliest time any head could start.
+            let mut t_min = u64::MAX;
+            for s in 0..shards {
+                if let Some(req) = self.queue[s].front() {
+                    t_min = t_min.min(self.eff(s, req.at, max_inflight));
+                }
+            }
+            if t_min == u64::MAX {
+                break;
+            }
+            let t = self.free_at.max(t_min);
+            // Round-robin among the shards whose head is eligible at `t`,
+            // starting after the last grant. The argmin head is always
+            // eligible, so a pick exists.
+            let mut pick = None;
+            for i in 1..=shards {
+                let s = (self.last_grant + i) % shards;
+                if let Some(req) = self.queue[s].front() {
+                    if self.eff(s, req.at, max_inflight) <= t {
+                        pick = Some(s);
+                        break;
+                    }
+                }
+            }
+            let s = pick.expect("an eligible head always exists at t");
+            let eff = {
+                let req = self.queue[s].front().expect("picked head exists");
+                self.eff(s, req.at, max_inflight)
+            };
+            let req = self.queue[s].pop_front().expect("picked head exists");
+            let row_hit = self.open_row == Some(req.row_tag);
+            let service = if row_hit {
+                req.service_hit
+            } else {
+                req.service_miss
+            };
+            let start = t;
+            let end = start + service;
+            let cross_cycles = foreign_overlap(&self.segs, eff, start, s);
+            self.free_at = end;
+            self.open_row = Some(req.row_tag);
+            push_seg(&mut self.segs, start, end, s);
+            if max_inflight > 0 {
+                let g = &mut self.grants[s];
+                g.push_back(end);
+                if g.len() > max_inflight {
+                    g.pop_front();
+                }
+            }
+            self.last_grant = s;
+            // Segments no remaining head's wait window can reach are dead.
+            let mut floor = u64::MAX;
+            for s2 in 0..shards {
+                if let Some(req) = self.queue[s2].front() {
+                    floor = floor.min(self.eff(s2, req.at, max_inflight));
+                }
+            }
+            if floor != u64::MAX {
+                while self.segs.front().is_some_and(|seg| seg.end <= floor) {
+                    self.segs.pop_front();
+                }
+            }
+            sink(
+                s,
+                BankAccess {
+                    queued_cycles: start - eff,
+                    cross_cycles,
+                    deferred_cycles: eff - req.at,
+                    row_hit,
+                },
+            );
+        }
+    }
+}
+
+/// One group of banks under fair, bounded arbitration. Requests are
+/// buffered per `(bank, shard)` over an epoch and granted bank-by-bank:
+/// round-robin among waiting shards, with a per-(bank, shard) in-flight
+/// cap whose deferral surfaces as port back-pressure. Banks are
+/// independent, so the replay is deterministic regardless of how the
+/// caller interleaved `push` calls *across* banks (per-shard order within
+/// a bank must follow the merge order, which it does).
+#[derive(Debug, Clone)]
+pub struct FairBanks {
+    shards: usize,
+    max_inflight: usize,
+    banks: Vec<FairBank>,
+}
+
+impl FairBanks {
+    /// Creates `banks` fair banks arbitrating between `shards` clients
+    /// with a per-(bank, shard) in-flight cap of `max_inflight`
+    /// (`0` = unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `shards` is zero.
+    pub fn new(banks: usize, shards: usize, max_inflight: usize) -> Self {
+        assert!(banks > 0, "a bank group needs at least one bank");
+        assert!(shards > 0, "at least one shard is required");
+        Self {
+            shards,
+            max_inflight,
+            banks: (0..banks).map(|_| FairBank::new(shards)).collect(),
+        }
+    }
+
+    /// Number of banks in the group.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Buffers shard `owner`'s access (arriving at merged time `at`, for
+    /// `row_tag`, with hit/miss occupancy costs) at its bank's queue.
+    pub fn push(
+        &mut self,
+        owner: usize,
+        at: u64,
+        row_tag: u64,
+        service_hit: u64,
+        service_miss: u64,
+    ) {
+        let bank = (row_tag % self.banks.len() as u64) as usize;
+        self.banks[bank].queue[owner].push_back(FairReq {
+            at,
+            row_tag,
+            service_hit,
+            service_miss,
+        });
+    }
+
+    /// Grants every buffered request and reports each access outcome via
+    /// `sink(shard, access)`. Bank state (busy-until, open rows, RR
+    /// cursors, in-flight windows) carries over to the next epoch.
+    pub fn drain(&mut self, sink: &mut impl FnMut(usize, BankAccess)) {
+        for bank in &mut self.banks {
+            bank.drain(self.shards, self.max_inflight, sink);
+        }
     }
 }
 
@@ -97,7 +362,7 @@ mod tests {
         let mut g = BankGroup::new(4);
         let a = g.access(0, 100, 7, 10, 25);
         assert_eq!(a.queued_cycles, 0);
-        assert!(!a.cross_shard);
+        assert_eq!(a.cross_cycles, 0);
         assert!(!a.row_hit, "first touch misses the closed row");
     }
 
@@ -108,9 +373,9 @@ mod tests {
         g.access(0, 100, 3, 10, 25);
         let second = g.access(1, 100, 7, 10, 25);
         // First access occupies [100, 125); the second waits 25 cycles,
-        // behind a different shard.
+        // all of them behind a different shard.
         assert_eq!(second.queued_cycles, 25);
-        assert!(second.cross_shard);
+        assert_eq!(second.cross_cycles, 25);
         assert!(!second.row_hit);
     }
 
@@ -120,8 +385,36 @@ mod tests {
         g.access(3, 0, 0, 10, 25);
         let own = g.access(3, 0, 0, 10, 25);
         assert_eq!(own.queued_cycles, 25);
-        assert!(!own.cross_shard, "own backlog is the local model's cost");
+        assert_eq!(own.cross_cycles, 0, "own backlog is the local model's cost");
         assert!(own.row_hit);
+    }
+
+    #[test]
+    fn mixed_backlog_charges_only_the_foreign_portion() {
+        // Shard 0 occupies [0, 25); shard 1 queues behind it ([25, 50))
+        // and then waits again at t=10: the window [10, 50) is 15 cycles
+        // behind shard 0 and 25 behind shard 1 itself. The old
+        // `last_owner` model saw shard 1 at the bank and charged zero.
+        let mut g = BankGroup::new(1);
+        g.access(0, 0, 0, 10, 25);
+        let first = g.access(1, 0, 3, 10, 25);
+        assert_eq!(first.cross_cycles, 25);
+        let second = g.access(1, 10, 3, 10, 25);
+        assert_eq!(second.queued_cycles, 40);
+        assert_eq!(second.cross_cycles, 15, "only shard 0's slice of the wait");
+    }
+
+    #[test]
+    fn mixed_backlog_charges_the_foreign_tail() {
+        // Reverse composition: shard 1 waits behind its own access first,
+        // then a foreign one. last_owner == shard 0 would have charged
+        // the whole 40-cycle wait; occupancy attribution charges 25.
+        let mut g = BankGroup::new(1);
+        g.access(1, 0, 0, 10, 25); // own, [0, 25)
+        g.access(0, 0, 3, 10, 25); // foreign, [25, 50)
+        let own_then_foreign = g.access(1, 10, 3, 10, 25);
+        assert_eq!(own_then_foreign.queued_cycles, 40);
+        assert_eq!(own_then_foreign.cross_cycles, 25);
     }
 
     #[test]
@@ -142,7 +435,7 @@ mod tests {
         // Bank is now busy until 35; a conflicting row queues 10, not 25.
         let conflict = g.access(1, 25, 6, 10, 25);
         assert_eq!(conflict.queued_cycles, 10);
-        assert!(conflict.cross_shard);
+        assert_eq!(conflict.cross_cycles, 10);
         assert!(!conflict.row_hit);
     }
 
@@ -167,5 +460,110 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_panics() {
         let _ = BankGroup::new(0);
+    }
+
+    // --- fair, bounded arbitration ---
+
+    fn drain_all(fb: &mut FairBanks) -> Vec<(usize, BankAccess)> {
+        let mut out = Vec::new();
+        fb.drain(&mut |s, a| out.push((s, a)));
+        out
+    }
+
+    #[test]
+    fn fair_idle_bank_is_free() {
+        let mut fb = FairBanks::new(4, 2, 4);
+        fb.push(0, 100, 7, 10, 25);
+        let out = drain_all(&mut fb);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1.queued_cycles, 0);
+        assert_eq!(out[0].1.cross_cycles, 0);
+        assert_eq!(out[0].1.deferred_cycles, 0);
+    }
+
+    #[test]
+    fn fair_grants_round_robin_under_contention() {
+        // Shard 0 floods the bank at t=0 with 4 requests; shard 1 issues
+        // one at t=1. FIFO-by-merge-order would serve all four of shard
+        // 0's first (earlier timestamps); round-robin grants shard 1
+        // right after shard 0's first service, so it waits behind exactly
+        // one foreign access.
+        let mut fb = FairBanks::new(1, 2, 0);
+        for _ in 0..4 {
+            fb.push(0, 0, 0, 10, 25);
+        }
+        fb.push(1, 1, 5, 10, 25);
+        let out = drain_all(&mut fb);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[1].0, 1, "round-robin jumps the flooded backlog");
+        let shard1 = out[1].1;
+        assert_eq!(shard1.cross_cycles, 24, "one foreign service, not four");
+    }
+
+    #[test]
+    fn fair_inflight_cap_defers_instead_of_queueing() {
+        // Cap of 1: shard 0's second request can't enter the bank queue
+        // until the first completes. The wait surfaces as port deferral,
+        // not as (chargeable) queueing.
+        let mut fb = FairBanks::new(1, 1, 1);
+        fb.push(0, 0, 0, 10, 25);
+        fb.push(0, 0, 0, 10, 25);
+        let out = drain_all(&mut fb);
+        assert_eq!(out[1].1.deferred_cycles, 25);
+        assert_eq!(out[1].1.queued_cycles, 0);
+        assert_eq!(out[1].1.cross_cycles, 0);
+    }
+
+    #[test]
+    fn fair_cap_bounds_a_flooding_shard() {
+        // With cap K, a victim arriving behind a flood waits at most
+        // K foreign services, no matter how deep the flood is.
+        let k = 2;
+        let mut fb = FairBanks::new(1, 2, k);
+        for _ in 0..32 {
+            fb.push(0, 0, 0, 10, 25);
+        }
+        fb.push(1, 0, 5, 10, 25);
+        let out = drain_all(&mut fb);
+        let shard1 = out.iter().find(|(s, _)| *s == 1).unwrap().1;
+        assert!(
+            shard1.cross_cycles <= k as u64 * 25,
+            "cross wait {} exceeds the cap bound {}",
+            shard1.cross_cycles,
+            k as u64 * 25
+        );
+    }
+
+    #[test]
+    fn fair_state_carries_across_epochs() {
+        let mut fb = FairBanks::new(1, 2, 4);
+        fb.push(0, 0, 0, 10, 25);
+        drain_all(&mut fb);
+        // Next epoch: shard 1 arrives while the bank is still busy.
+        fb.push(1, 1, 0, 10, 25);
+        let out = drain_all(&mut fb);
+        assert_eq!(out[0].1.cross_cycles, 24, "backlog must persist");
+    }
+
+    #[test]
+    fn fair_drain_is_deterministic() {
+        let build = || {
+            let mut fb = FairBanks::new(4, 3, 2);
+            for s in 0..3usize {
+                for i in 0..40u64 {
+                    fb.push(s, i * 13, (i * 7 + s as u64) % 9, 10, 25);
+                }
+            }
+            fb
+        };
+        let (mut a, mut b) = (build(), build());
+        assert_eq!(drain_all(&mut a), drain_all(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn fair_zero_banks_panics() {
+        let _ = FairBanks::new(0, 1, 4);
     }
 }

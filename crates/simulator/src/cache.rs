@@ -469,14 +469,18 @@ impl CacheHierarchy {
         if l2_hit {
             stats.l2_hits += 1;
         } else {
-            // L3.
+            // L3. Demand probes are what the shared-LLC/coherence actors
+            // replay against the shared set space at epoch boundaries
+            // (retag/install/flush/refill paths stay private-slice-only).
             result.cycles += cfg.l3.latency_cycles;
+            let kind = PhysMem::kind_of_addr(addr);
             if self.l3.find_promote(line).is_some() {
                 stats.l3_hits += 1;
+                timing.record_llc_probe(line / LINE_SIZE as u64, kind, is_write, true);
             } else {
                 // Memory fill.
                 stats.mem_accesses += 1;
-                let kind = PhysMem::kind_of_addr(addr);
+                timing.record_llc_probe(line / LINE_SIZE as u64, kind, is_write, false);
                 result.cycles +=
                     timing.access_cycles(cfg, stats, kind, addr.line_base(), AccessKind::Read);
                 match kind {

@@ -62,6 +62,32 @@ pub struct InterconnectConfig {
     /// `true`: every shard gets its **own** group of the configured size
     /// (the scaled-hardware reference that stays flat as clients grow).
     pub partitioned: bool,
+    /// Fair bank arbitration: grants rotate round-robin among the shards
+    /// waiting at a bank instead of replaying first-come-first-served, so
+    /// no client can monopolize a bank by flooding it with early
+    /// timestamps. Off by default (the original FIFO discipline).
+    pub fair: bool,
+    /// Per-(bank, shard) in-flight cap under fair arbitration: a shard's
+    /// next request is held at its controller port until its
+    /// `max_inflight`-th previous grant at that bank completes. The
+    /// deferral is paced into the shard's own stream (port back-pressure),
+    /// never charged to its clock. `0` = unbounded. Inert without `fair`.
+    pub max_inflight: usize,
+    /// Model the L3 as **one shared set space** across shards at every
+    /// epoch boundary (replacing purely sliced-L3 accounting): a line the
+    /// private slice kept but cross-shard capacity pressure evicted is
+    /// charged one memory read. Off by default.
+    pub shared_llc: bool,
+    /// Extend the coherence directory across shards: when one shard's
+    /// fill evicts another shard's line from the shared LLC, the victim
+    /// shard is charged a directory-driven invalidation broadcast (plus an
+    /// ownership-transfer latency if the line was dirty). Off by default.
+    pub coherence: bool,
+    /// Sets of the shared LLC (the *parent* L3's geometry, not a slice's;
+    /// Table 2: 12 MiB / 16-way / 64 B lines = 12288 sets).
+    pub llc_sets: usize,
+    /// Ways of the shared LLC.
+    pub llc_ways: usize,
 }
 
 impl InterconnectConfig {
@@ -73,6 +99,12 @@ impl InterconnectConfig {
             dram_banks: 64,
             nvram_banks: 32,
             partitioned: false,
+            fair: false,
+            max_inflight: 0,
+            shared_llc: false,
+            coherence: false,
+            llc_sets: 12_288,
+            llc_ways: 16,
         }
     }
 
@@ -94,6 +126,28 @@ impl InterconnectConfig {
             dram_banks,
             nvram_banks,
             ..Self::disabled()
+        }
+    }
+
+    /// [`shared`](Self::shared) plus fair, bounded bank arbitration:
+    /// round-robin grants and a per-(bank, shard) in-flight cap of 4
+    /// (one write-combining window's worth of outstanding requests).
+    pub const fn shared_fair() -> Self {
+        Self {
+            fair: true,
+            max_inflight: 4,
+            ..Self::shared()
+        }
+    }
+
+    /// The full shared-memory hierarchy: fair, bounded banks **plus** the
+    /// shared-LLC capacity actor and the cross-shard coherence actor —
+    /// the configuration of the fixed Fig 5b shared sweep.
+    pub const fn shared_hierarchy() -> Self {
+        Self {
+            shared_llc: true,
+            coherence: true,
+            ..Self::shared_fair()
         }
     }
 }

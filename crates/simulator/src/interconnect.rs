@@ -1,5 +1,5 @@
 //! The shared memory interconnect: a deterministic cross-shard
-//! memory-controller model.
+//! memory-controller, shared-LLC and coherence model.
 //!
 //! The threaded driver gives every worker a fully disjoint machine shard,
 //! so cross-shard contention for the DRAM/NVRAM channels — the effect the
@@ -9,24 +9,31 @@
 //!
 //! 1. While a shard executes, its [`MemTiming`](crate::timing::MemTiming)
 //!    records every line access as a [`MemEvent`] stamped with the shard's
-//!    local virtual time (its core-cycle clock).
+//!    local virtual time (its core-cycle clock), and — when the shared-LLC
+//!    or coherence actor is on — every L3 demand probe as an [`LlcEvent`].
 //! 2. At every epoch boundary (each
 //!    [`epoch_cycles`](crate::config::InterconnectConfig::epoch_cycles) of
 //!    local time) the driver drains all shards' event streams and feeds
-//!    them to [`Interconnect::arbitrate`], which merges them into one
-//!    global order — by `(local time, shard index, stream position)`, so
-//!    the order never depends on host scheduling — and replays them
-//!    through per-channel-group [`BankGroup`] FIFO queues with open-row
-//!    buffers.
-//! 3. The queueing delay each shard's accesses accumulated is handed back
-//!    as an [`EpochCharge`] and added to that shard's clock and counters,
-//!    so contention slows the affected client before its next epoch.
+//!    them to [`Interconnect::arbitrate_epoch`], which merges them into
+//!    one global order — by `(local time, shard index, stream position)`,
+//!    so the order never depends on host scheduling — and replays them
+//!    through the bank queues ([`BankGroup`] FIFOs, or [`FairBanks`] when
+//!    [`fair`](crate::config::InterconnectConfig::fair) is set) and the
+//!    shared LLC.
+//! 3. The delay each shard's accesses accumulated — cross-shard bank
+//!    queueing, shared-LLC capacity misses, directory invalidations — is
+//!    handed back as an [`EpochCharge`] and added to that shard's clock
+//!    and counters, so contention slows the affected client before its
+//!    next epoch. In-flight-cap deferrals come back as port back-pressure
+//!    (pacing) only.
 //!
 //! Because every input to the arbiter is shard-local and deterministic,
 //! a fixed seed yields bit-identical results for threaded, sequential and
-//! repeated runs — the PR-2 determinism contract extends to contention.
+//! repeated runs — the PR-2 determinism contract extends to contention
+//! with every knob enabled. Bytes never move through this module, so
+//! committed NVRAM fingerprints are untouched.
 
-use crate::bankq::BankGroup;
+use crate::bankq::{BankAccess, BankGroup, FairBanks};
 use crate::config::{MachineConfig, MemTechConfig};
 use crate::timing::MemKind;
 
@@ -44,13 +51,30 @@ pub struct MemEvent {
     pub write: bool,
 }
 
-/// Queueing outcome of one epoch for one shard, charged back to its clock
-/// and [`MachineStats`](crate::stats::MachineStats) by the driver.
+/// One recorded L3 demand probe, replayed against the **shared** LLC set
+/// space by the capacity/coherence actors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcEvent {
+    /// Shard-local core-cycle time at which the probe was issued.
+    pub at: u64,
+    /// Local line index (`addr / line_bytes` in the shard).
+    pub line: u64,
+    /// Which memory technology backs the line (prices the extra miss).
+    pub mem: MemKind,
+    /// `true` for writes (marks the shared-LLC entry dirty).
+    pub write: bool,
+    /// Whether the shard's *private* L3 slice hit. Only a private hit
+    /// that misses the shared space is an extra (chargeable) miss.
+    pub private_hit: bool,
+}
+
+/// Delay and counters of one epoch for one shard, charged back to its
+/// clock and [`MachineStats`](crate::stats::MachineStats) by the driver.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EpochCharge {
-    /// Cycles this shard's accesses waited behind *other shards'* traffic.
-    /// Waits behind the shard's own backlog are not charged — the local
-    /// timing model already prices a shard's own bank behavior.
+    /// Cycles this shard's accesses waited behind *other shards'* bank
+    /// occupancy. Waits behind the shard's own backlog are not charged —
+    /// the local timing model already prices a shard's own bank behavior.
     pub delay_cycles: u64,
     /// Number of accesses that waited behind another shard.
     pub conflicts: u64,
@@ -58,15 +82,31 @@ pub struct EpochCharge {
     pub row_hits: u64,
     /// Row-buffer misses at the shared controller.
     pub row_misses: u64,
+    /// Cycles the fair arbiter's in-flight cap held this shard's requests
+    /// at its controller port. Fed back as pacing (port back-pressure),
+    /// never added to the clock.
+    pub port_stall_cycles: u64,
+    /// Private-L3 hits that missed the shared LLC set space (cross-shard
+    /// capacity pressure evicted the line).
+    pub llc_extra_misses: u64,
+    /// Memory-read cycles charged for those extra misses.
+    pub llc_delay_cycles: u64,
+    /// Directory-driven invalidations this shard absorbed because another
+    /// shard's fill evicted its line from the shared LLC.
+    pub coh_invalidations: u64,
+    /// Invalidation-broadcast + dirty ownership-transfer cycles charged
+    /// for those evictions.
+    pub coh_delay_cycles: u64,
 }
 
 impl EpochCharge {
     /// Folds one bank access into the charge.
-    fn record(&mut self, access: crate::bankq::BankAccess) {
-        if access.cross_shard {
-            self.delay_cycles += access.queued_cycles;
+    fn record(&mut self, access: BankAccess) {
+        if access.cross_cycles > 0 {
+            self.delay_cycles += access.cross_cycles;
             self.conflicts += 1;
         }
+        self.port_stall_cycles += access.deferred_cycles;
         if access.row_hit {
             self.row_hits += 1;
         } else {
@@ -107,31 +147,49 @@ impl ServiceTimes {
     }
 }
 
+/// The bank queues behind one channel group, under either discipline.
+#[derive(Debug, Clone)]
+enum Banks {
+    /// First-come-first-served in merge order (the original model).
+    Fifo(Vec<BankGroup>),
+    /// Fair, bounded: round-robin grants + per-(bank, shard) in-flight
+    /// caps, granted per epoch in [`ChannelGroups::drain`].
+    Fair(Vec<FairBanks>),
+}
+
 /// One memory technology's channel groups: a single group all shards share,
 /// or one private group per shard (the partitioned reference).
 #[derive(Debug, Clone)]
 struct ChannelGroups {
-    groups: Vec<BankGroup>,
+    banks: Banks,
     service: ServiceTimes,
     shared: bool,
 }
 
 impl ChannelGroups {
     fn new(cfg: &MachineConfig, tech: &MemTechConfig, banks: usize, shards: usize) -> Self {
-        let shared = !cfg.interconnect.partitioned;
-        let groups = if shared {
-            vec![BankGroup::new(banks.max(1))]
+        let icfg = &cfg.interconnect;
+        let shared = !icfg.partitioned;
+        let count = if shared { 1 } else { shards };
+        let banks = if icfg.fair {
+            Banks::Fair(vec![
+                FairBanks::new(banks.max(1), shards, icfg.max_inflight);
+                count
+            ])
         } else {
-            vec![BankGroup::new(banks.max(1)); shards]
+            Banks::Fifo(vec![BankGroup::new(banks.max(1)); count])
         };
         Self {
-            groups,
+            banks,
             service: ServiceTimes::new(cfg, tech),
             shared,
         }
     }
 
-    fn access(&mut self, shard: usize, ev: &MemEvent) -> crate::bankq::BankAccess {
+    /// Routes one event. Under FIFO the access is served immediately and
+    /// its outcome returned; under fair arbitration it is buffered at its
+    /// bank until [`drain`](Self::drain) grants the epoch.
+    fn route(&mut self, shard: usize, ev: &MemEvent) -> Option<BankAccess> {
         let (hit, miss) = self.service.pick(ev.write);
         // Every shard's address space starts at the same physical base, so
         // identical local rows would alias across shards. Hash-mix the
@@ -141,10 +199,26 @@ impl ChannelGroups {
         // each client a disjoint residue class of banks — the bank a row
         // lands on is uniform, so clients genuinely collide.
         let row_tag = mix_row(ev.row, shard as u64);
-        if self.shared {
-            self.groups[0].access(shard, ev.at, row_tag, hit, miss)
-        } else {
-            self.groups[shard].access(shard, ev.at, row_tag, hit, miss)
+        let group = if self.shared { 0 } else { shard };
+        match &mut self.banks {
+            Banks::Fifo(groups) => Some(groups[group].access(shard, ev.at, row_tag, hit, miss)),
+            Banks::Fair(groups) => {
+                groups[group].push(shard, ev.at, row_tag, hit, miss);
+                None
+            }
+        }
+    }
+
+    /// Grants every buffered fair-mode request, folding each outcome into
+    /// the per-shard charges and the running totals. A no-op under FIFO.
+    fn drain(&mut self, charges: &mut [EpochCharge], totals: &mut EpochCharge) {
+        if let Banks::Fair(groups) = &mut self.banks {
+            for group in groups {
+                group.drain(&mut |shard, access| {
+                    charges[shard].record(access);
+                    totals.record(access);
+                });
+            }
         }
     }
 }
@@ -159,11 +233,101 @@ fn mix_row(row: u64, shard: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One line resident in the shared LLC.
+#[derive(Debug, Clone, Copy)]
+struct LlcSlot {
+    tag: u64,
+    owner: u32,
+    dirty: bool,
+}
+
+/// Outcome of one shared-LLC probe-and-fill.
+struct LlcAccess {
+    hit: bool,
+    victim: Option<LlcSlot>,
+}
+
+/// The shared LLC set space: `sets × ways` slots, MRU-first within each
+/// set, plain LRU eviction. Tags are `mix_row(line, shard)`, so entries
+/// are per-shard-unique and shards interact purely through capacity —
+/// which is the modelled effect (the shards' address spaces are disjoint;
+/// true sharing cannot occur).
+#[derive(Debug, Clone)]
+struct SharedLlc {
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` slots; within a set the first `lens[set]` are valid,
+    /// most-recently-used first.
+    slots: Vec<LlcSlot>,
+    lens: Vec<u16>,
+}
+
+impl SharedLlc {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "the shared LLC needs at least one set");
+        assert!(ways > 0 && ways <= u16::MAX as usize, "bad way count");
+        Self {
+            sets,
+            ways,
+            slots: vec![
+                LlcSlot {
+                    tag: 0,
+                    owner: 0,
+                    dirty: false
+                };
+                sets * ways
+            ],
+            lens: vec![0; sets],
+        }
+    }
+
+    fn access(&mut self, shard: usize, tag: u64, write: bool) -> LlcAccess {
+        let set = (tag % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        for i in 0..len {
+            if self.slots[base + i].tag == tag {
+                self.slots[base + i].dirty |= write;
+                self.slots[base..=base + i].rotate_right(1);
+                return LlcAccess {
+                    hit: true,
+                    victim: None,
+                };
+            }
+        }
+        let (victim, new_len) = if len == self.ways {
+            (Some(self.slots[base + len - 1]), len)
+        } else {
+            self.lens[set] = (len + 1) as u16;
+            (None, len + 1)
+        };
+        self.slots[base..base + new_len].rotate_right(1);
+        self.slots[base] = LlcSlot {
+            tag,
+            owner: shard as u32,
+            dirty: write,
+        };
+        LlcAccess { hit: false, victim }
+    }
+}
+
 /// The shared memory-controller actor (see the module docs).
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     dram: ChannelGroups,
     nvram: ChannelGroups,
+    /// Present when the shared-LLC or coherence actor is enabled.
+    llc: Option<SharedLlc>,
+    shared_llc: bool,
+    coherence: bool,
+    /// Memory-read cycles charged for a shared-LLC extra miss, per kind.
+    llc_miss_dram: u64,
+    llc_miss_nvram: u64,
+    /// Directory invalidation-broadcast cycles charged to an evicted
+    /// shard, and the extra ownership-transfer cost for a dirty line.
+    coh_broadcast: u64,
+    coh_transfer: u64,
+    totals: EpochCharge,
     shards: usize,
 }
 
@@ -178,9 +342,22 @@ impl Interconnect {
     pub fn new(cfg: &MachineConfig, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard is required");
         let icfg = &cfg.interconnect;
+        let llc = if icfg.shared_llc || icfg.coherence {
+            Some(SharedLlc::new(icfg.llc_sets, icfg.llc_ways))
+        } else {
+            None
+        };
         Self {
             dram: ChannelGroups::new(cfg, &cfg.dram, icfg.dram_banks, shards),
             nvram: ChannelGroups::new(cfg, &cfg.nvram, icfg.nvram_banks, shards),
+            llc,
+            shared_llc: icfg.shared_llc,
+            coherence: icfg.coherence,
+            llc_miss_dram: cfg.ns_to_cycles(cfg.dram.read_ns).max(1),
+            llc_miss_nvram: cfg.ns_to_cycles(cfg.nvram.read_ns).max(1),
+            coh_broadcast: cfg.coherence_broadcast_cycles,
+            coh_transfer: cfg.l3.latency_cycles,
+            totals: EpochCharge::default(),
             shards,
         }
     }
@@ -190,9 +367,16 @@ impl Interconnect {
         self.shards
     }
 
-    /// Merges one epoch's per-shard event streams (`streams[w]` is worker
-    /// `w`'s, each ordered by local time) into the deterministic global
-    /// order and replays them through the bank queues. Returns one
+    /// Everything the controller has ever charged, summed over all shards
+    /// and epochs. The per-shard charges it returns partition this total
+    /// exactly — the invariant behind the per-shard `bankq_*` counters.
+    pub fn totals(&self) -> EpochCharge {
+        self.totals
+    }
+
+    /// Merges one epoch's per-shard memory-event streams (`streams[w]` is
+    /// worker `w`'s, each ordered by local time) into the deterministic
+    /// global order and replays them through the bank queues. Returns one
     /// [`EpochCharge`] per shard, in worker-index order.
     ///
     /// Bank occupancy carries over between epochs, so a stream of hot
@@ -224,7 +408,88 @@ impl Interconnect {
                 MemKind::Dram => &mut self.dram,
                 MemKind::Nvram => &mut self.nvram,
             };
-            charges[s].record(groups.access(s, &ev));
+            if let Some(access) = groups.route(s, &ev) {
+                charges[s].record(access);
+                self.totals.record(access);
+            }
+        }
+        self.dram.drain(&mut charges, &mut self.totals);
+        self.nvram.drain(&mut charges, &mut self.totals);
+        charges
+    }
+
+    /// One full epoch: bank arbitration over the memory streams, then the
+    /// shared-LLC/coherence replay over the L3-probe streams, all in the
+    /// same `(local time, shard index, stream position)` order. This is
+    /// what the epoch drivers call; `llc_streams` may be empty when the
+    /// LLC actors are off (it is ignored entirely when they are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream slice is non-empty and its length differs from
+    /// the shard count.
+    pub fn arbitrate_epoch(
+        &mut self,
+        streams: &[Vec<MemEvent>],
+        llc_streams: &[Vec<LlcEvent>],
+    ) -> Vec<EpochCharge> {
+        let mut charges = self.arbitrate(streams);
+        let Some(llc) = self.llc.as_mut() else {
+            return charges;
+        };
+        if llc_streams.is_empty() {
+            return charges;
+        }
+        assert_eq!(llc_streams.len(), self.shards, "one LLC stream per shard");
+        let mut cursor = vec![0usize; self.shards];
+        loop {
+            let mut next: Option<(u64, usize)> = None;
+            for (s, stream) in llc_streams.iter().enumerate() {
+                if let Some(ev) = stream.get(cursor[s]) {
+                    if next.map_or(true, |(at, _)| ev.at < at) {
+                        next = Some((ev.at, s));
+                    }
+                }
+            }
+            let Some((_, s)) = next else { break };
+            let ev = llc_streams[s][cursor[s]];
+            cursor[s] += 1;
+            // The same mixing as the banks: per-shard-unique identities,
+            // uniform set placement, genuine capacity collisions.
+            let tag = mix_row(ev.line, s as u64);
+            let outcome = llc.access(s, tag, ev.write);
+            if self.shared_llc && ev.private_hit && !outcome.hit {
+                // The private slice kept the line but cross-shard capacity
+                // pressure evicted it from the shared space: the "hit" the
+                // local model priced at L3 latency is really one more
+                // memory read.
+                let extra = match ev.mem {
+                    MemKind::Dram => self.llc_miss_dram,
+                    MemKind::Nvram => self.llc_miss_nvram,
+                };
+                charges[s].llc_extra_misses += 1;
+                charges[s].llc_delay_cycles += extra;
+                self.totals.llc_extra_misses += 1;
+                self.totals.llc_delay_cycles += extra;
+            }
+            if self.coherence {
+                if let Some(victim) = outcome.victim {
+                    let owner = victim.owner as usize;
+                    if owner != s {
+                        // Directory-driven back-invalidation of the victim
+                        // shard's private copies, plus an ownership
+                        // transfer if it still held the line dirty.
+                        let mut delay = self.coh_broadcast;
+                        if victim.dirty {
+                            delay += self.coh_transfer;
+                        }
+                        charges[owner].coh_invalidations += 1;
+                        charges[owner].coh_delay_cycles += delay;
+                        self.totals.coh_invalidations += 1;
+                        self.totals.coh_delay_cycles += delay;
+                    }
+                }
+            }
         }
         charges
     }
@@ -244,6 +509,16 @@ mod tests {
         }
     }
 
+    fn llc_event(at: u64, line: u64, private_hit: bool) -> LlcEvent {
+        LlcEvent {
+            at,
+            line,
+            mem: MemKind::Nvram,
+            write: true,
+            private_hit,
+        }
+    }
+
     fn shared_cfg(nvram_banks: usize) -> MachineConfig {
         let mut interconnect = InterconnectConfig::shared();
         interconnect.nvram_banks = nvram_banks;
@@ -251,6 +526,17 @@ mod tests {
             interconnect,
             ..MachineConfig::default()
         }
+    }
+
+    /// A tiny shared LLC (1 set × 2 ways) so capacity evictions are easy
+    /// to provoke.
+    fn llc_cfg() -> MachineConfig {
+        let mut cfg = shared_cfg(8);
+        cfg.interconnect.shared_llc = true;
+        cfg.interconnect.coherence = true;
+        cfg.interconnect.llc_sets = 1;
+        cfg.interconnect.llc_ways = 2;
+        cfg
     }
 
     #[test]
@@ -322,6 +608,22 @@ mod tests {
     }
 
     #[test]
+    fn mixed_backlog_still_charges_the_foreign_portion() {
+        // Shard 1 waits behind shard 0 *and* itself on one bank: only the
+        // foreign slice of each wait may be charged. The old last_owner
+        // model zeroed the second wait entirely (shard 1 saw itself at
+        // the bank) — occupancy attribution keeps the foreign remainder.
+        let cfg = shared_cfg(1);
+        let mut ic = Interconnect::new(&cfg, 2);
+        let miss = cfg.ns_to_cycles(cfg.nvram.write_ns + cfg.nvram.row_miss_penalty_ns);
+        let charges = ic.arbitrate(&[vec![event(0, 0)], vec![event(0, 1), event(1, 1)]]);
+        // First wait: [0, miss) fully behind shard 0. Second: the window
+        // [1, 2*miss) overlaps shard 0's [0, miss) for miss-1 cycles.
+        assert_eq!(charges[1].delay_cycles, miss + (miss - 1));
+        assert_eq!(charges[1].conflicts, 2);
+    }
+
+    #[test]
     fn merge_order_is_time_then_shard() {
         // Shard 1's earlier event must be served before shard 0's later
         // one even though shard 0 appears first in the stream list.
@@ -348,5 +650,192 @@ mod tests {
     fn wrong_stream_count_panics() {
         let mut ic = Interconnect::new(&shared_cfg(4), 2);
         let _ = ic.arbitrate(&[Vec::new()]);
+    }
+
+    // --- fair arbitration through the full controller ---
+
+    #[test]
+    fn fair_mode_matches_fifo_when_uncontended() {
+        let mut fifo_cfg = shared_cfg(8);
+        let mut fair_cfg = shared_cfg(8);
+        fair_cfg.interconnect.fair = true;
+        fair_cfg.interconnect.max_inflight = 4;
+        fifo_cfg.interconnect.nvram_banks = 8;
+        let streams = [vec![event(0, 0), event(1000, 1)]];
+        let a = Interconnect::new(&fifo_cfg, 1).arbitrate(&streams);
+        let b = Interconnect::new(&fair_cfg, 1).arbitrate(&streams);
+        assert_eq!(a, b, "an idle controller charges nothing either way");
+    }
+
+    #[test]
+    fn fair_mode_bounds_the_victims_wait() {
+        // Shard 0 floods one bank with 64 same-time requests; shard 1
+        // issues one. FIFO charges the victim the whole backlog; fair
+        // arbitration grants it within one round-robin rotation.
+        let cfg = shared_cfg(1);
+        let mut fair_cfg = cfg.clone();
+        fair_cfg.interconnect.fair = true;
+        fair_cfg.interconnect.max_inflight = 4;
+        let flood: Vec<MemEvent> = (0..64).map(|_| event(0, 0)).collect();
+        let victim = vec![event(1, 1)];
+        let fifo = Interconnect::new(&cfg, 2).arbitrate(&[flood.clone(), victim.clone()]);
+        let fair = Interconnect::new(&fair_cfg, 2).arbitrate(&[flood, victim]);
+        assert!(
+            fair[1].delay_cycles * 8 < fifo[1].delay_cycles,
+            "fair victim wait {} not well under FIFO's {}",
+            fair[1].delay_cycles,
+            fifo[1].delay_cycles
+        );
+        assert!(fair[1].delay_cycles > 0, "contention is still modelled");
+    }
+
+    #[test]
+    fn fair_mode_is_deterministic() {
+        let mut cfg = shared_cfg(4);
+        cfg.interconnect.fair = true;
+        cfg.interconnect.max_inflight = 2;
+        let streams: Vec<Vec<MemEvent>> = (0..3)
+            .map(|s| (0..50).map(|i| event(i * 17 + s, i % 9)).collect())
+            .collect();
+        let a = Interconnect::new(&cfg, 3).arbitrate(&streams);
+        let b = Interconnect::new(&cfg, 3).arbitrate(&streams);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_shard_charges_partition_the_totals() {
+        // Multi-epoch, fair + LLC + coherence on: the per-shard charges
+        // handed back must sum exactly to the controller's own ledger,
+        // and every event must be accounted once.
+        let mut cfg = llc_cfg();
+        cfg.interconnect.fair = true;
+        cfg.interconnect.max_inflight = 2;
+        cfg.interconnect.nvram_banks = 2;
+        let mut ic = Interconnect::new(&cfg, 3);
+        let mut sum = EpochCharge::default();
+        let mut events = 0u64;
+        for epoch in 0..4u64 {
+            let streams: Vec<Vec<MemEvent>> = (0..3)
+                .map(|s| {
+                    (0..30)
+                        .map(|i| event(epoch * 1000 + i * 11 + s, i % 5))
+                        .collect()
+                })
+                .collect();
+            let llc_streams: Vec<Vec<LlcEvent>> = (0..3)
+                .map(|s| {
+                    (0..10)
+                        .map(|i| llc_event(epoch * 1000 + i * 37 + s, i % 4, i % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            events += streams.iter().map(|v| v.len() as u64).sum::<u64>();
+            for charge in ic.arbitrate_epoch(&streams, &llc_streams) {
+                sum.delay_cycles += charge.delay_cycles;
+                sum.conflicts += charge.conflicts;
+                sum.row_hits += charge.row_hits;
+                sum.row_misses += charge.row_misses;
+                sum.port_stall_cycles += charge.port_stall_cycles;
+                sum.llc_extra_misses += charge.llc_extra_misses;
+                sum.llc_delay_cycles += charge.llc_delay_cycles;
+                sum.coh_invalidations += charge.coh_invalidations;
+                sum.coh_delay_cycles += charge.coh_delay_cycles;
+            }
+        }
+        assert_eq!(sum, ic.totals(), "charges must partition the totals");
+        assert_eq!(
+            ic.totals().row_hits + ic.totals().row_misses,
+            events,
+            "every bank event accounted exactly once"
+        );
+    }
+
+    // --- shared-LLC capacity + cross-shard coherence actors ---
+
+    #[test]
+    fn private_hit_evicted_by_capacity_is_an_extra_miss() {
+        let cfg = llc_cfg();
+        let mut ic = Interconnect::new(&cfg, 3);
+        // Shard 0 installs a line, shards 1 and 2 blow it out of the
+        // 2-way set, then shard 0's private slice still hits it: that
+        // probe is an extra miss worth one NVRAM read.
+        let streams = vec![Vec::new(); 3];
+        let llc = vec![
+            vec![llc_event(0, 7, false), llc_event(40, 7, true)],
+            vec![llc_event(10, 1, false)],
+            vec![llc_event(20, 2, false)],
+        ];
+        let charges = ic.arbitrate_epoch(&streams, &llc);
+        assert_eq!(charges[0].llc_extra_misses, 1);
+        assert_eq!(
+            charges[0].llc_delay_cycles,
+            cfg.ns_to_cycles(cfg.nvram.read_ns)
+        );
+        assert_eq!(charges[1].llc_extra_misses, 0);
+    }
+
+    #[test]
+    fn cross_shard_eviction_charges_the_victim_an_invalidation() {
+        let cfg = llc_cfg();
+        let mut ic = Interconnect::new(&cfg, 2);
+        // Shard 0 fills both ways (one dirty); shard 1's fills evict
+        // them LRU-first. Each eviction invalidates shard 0's copy; the
+        // dirty one also pays the ownership transfer.
+        let streams = vec![Vec::new(); 2];
+        let llc = vec![
+            vec![llc_event(0, 1, false), {
+                let mut e = llc_event(1, 2, false);
+                e.write = false;
+                e
+            }],
+            vec![llc_event(10, 3, false), llc_event(11, 4, false)],
+        ];
+        let charges = ic.arbitrate_epoch(&streams, &llc);
+        assert_eq!(charges[0].coh_invalidations, 2);
+        assert_eq!(
+            charges[0].coh_delay_cycles,
+            2 * cfg.coherence_broadcast_cycles + cfg.l3.latency_cycles,
+            "one dirty transfer on top of two broadcasts"
+        );
+        assert_eq!(charges[1].coh_invalidations, 0, "the evictor pays nothing");
+    }
+
+    #[test]
+    fn own_capacity_eviction_is_free() {
+        let cfg = llc_cfg();
+        let mut ic = Interconnect::new(&cfg, 1);
+        // A single shard cycling through 3 lines in a 2-way set evicts
+        // only itself: no coherence charges, and no extra misses unless
+        // the private slice claimed a hit.
+        let llc = vec![(0..6)
+            .map(|i| llc_event(i, i % 3, false))
+            .collect::<Vec<_>>()];
+        let charges = ic.arbitrate_epoch(&[Vec::new()], &llc);
+        assert_eq!(charges[0].coh_invalidations, 0);
+        assert_eq!(charges[0].llc_extra_misses, 0);
+    }
+
+    #[test]
+    fn llc_replay_is_deterministic_and_ordered_by_time() {
+        let cfg = llc_cfg();
+        let llc: Vec<Vec<LlcEvent>> = (0..3)
+            .map(|s| {
+                (0..40)
+                    .map(|i| llc_event(i * 7 + s, i % 5, i % 3 == 0))
+                    .collect()
+            })
+            .collect();
+        let streams = vec![Vec::new(); 3];
+        let a = Interconnect::new(&cfg, 3).arbitrate_epoch(&streams, &llc);
+        let b = Interconnect::new(&cfg, 3).arbitrate_epoch(&streams, &llc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn llc_actor_off_ignores_llc_streams() {
+        let cfg = shared_cfg(8);
+        let mut ic = Interconnect::new(&cfg, 1);
+        let charges = ic.arbitrate_epoch(&[Vec::new()], &[vec![llc_event(0, 1, true)]]);
+        assert_eq!(charges[0], EpochCharge::default());
     }
 }

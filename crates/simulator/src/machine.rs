@@ -10,7 +10,7 @@ use crate::addr::{PhysAddr, LINE_SIZE};
 use crate::cache::{AccessResult, CacheHierarchy, CoreId, LineOp};
 use crate::config::MachineConfig;
 use crate::fault::{CrashPoint, FaultSite, FaultState};
-use crate::interconnect::{EpochCharge, MemEvent};
+use crate::interconnect::{EpochCharge, LlcEvent, MemEvent};
 use crate::phys::PhysMem;
 use crate::stats::{MachineStats, WriteClass};
 use crate::timing::{AccessKind, MemTiming};
@@ -170,6 +170,18 @@ impl Machine {
         self.timing.swap_events(buf);
     }
 
+    /// Drains the shared-LLC probe events recorded since the last drain
+    /// (empty unless the shared-LLC or coherence actor is enabled) into
+    /// `buf`, which is cleared first; like [`Machine::take_mem_events_into`]
+    /// the two buffers ping-pong so the drain allocates nothing. The
+    /// driver feeds the drained streams to
+    /// [`Interconnect::arbitrate_epoch`] at epoch boundaries.
+    ///
+    /// [`Interconnect::arbitrate_epoch`]: crate::interconnect::Interconnect::arbitrate_epoch
+    pub fn take_llc_events_into(&mut self, buf: &mut Vec<LlcEvent>) {
+        self.timing.swap_llc_events(buf);
+    }
+
     /// Discards any recorded memory events without yielding them (warm-up
     /// phases, shards running with the interconnect disabled).
     pub fn discard_mem_events(&mut self) {
@@ -181,12 +193,20 @@ impl Machine {
     /// the shard does next) and the contention counters land in
     /// [`MachineStats`].
     pub fn apply_epoch_charge(&mut self, core: CoreId, charge: &EpochCharge) {
-        self.core_cycles[core.index()] += charge.delay_cycles;
-        self.timing.stall_port(charge.delay_cycles);
+        let delay = charge.delay_cycles + charge.llc_delay_cycles + charge.coh_delay_cycles;
+        self.core_cycles[core.index()] += delay;
+        // Port back-pressure (deferred issue under the in-flight cap)
+        // paces the next epoch's event stream but is not lost core time.
+        self.timing.stall_port(delay + charge.port_stall_cycles);
         self.stats.bankq_delay_cycles += charge.delay_cycles;
         self.stats.bankq_conflicts += charge.conflicts;
         self.stats.bankq_row_hits += charge.row_hits;
         self.stats.bankq_row_misses += charge.row_misses;
+        self.stats.bankq_stall_cycles += charge.port_stall_cycles;
+        self.stats.llc_extra_misses += charge.llc_extra_misses;
+        self.stats.llc_delay_cycles += charge.llc_delay_cycles;
+        self.stats.coh_cross_invalidations += charge.coh_invalidations;
+        self.stats.coh_cross_delay_cycles += charge.coh_delay_cycles;
         // The charge lands exactly once per epoch per shard, so arming
         // the same EpochBoundary schedule on every shard cuts the power
         // on all of them at the same epoch boundary.

@@ -104,6 +104,19 @@ pub struct MachineStats {
     pub bankq_row_hits: u64,
     /// Row-buffer misses at the shared interconnect's banks.
     pub bankq_row_misses: u64,
+    /// Cycles the fair arbiter back-pressured this shard's memory port
+    /// (its in-flight cap was full, so the request was deferred at issue).
+    pub bankq_stall_cycles: u64,
+    /// Private-slice L3 hits that missed in the shared LLC set space:
+    /// capacity the sliced model over-promised, charged as extra misses.
+    pub llc_extra_misses: u64,
+    /// Cycles charged for those extra shared-LLC misses.
+    pub llc_delay_cycles: u64,
+    /// Shared-LLC lines this shard owned that another shard's fill evicted.
+    pub coh_cross_invalidations: u64,
+    /// Cycles charged to this shard for those cross-shard invalidations
+    /// (broadcast, plus ownership transfer when the line was dirty).
+    pub coh_cross_delay_cycles: u64,
 }
 
 impl MachineStats {
@@ -175,6 +188,11 @@ impl MachineStats {
         out.bankq_conflicts = self.bankq_conflicts - base.bankq_conflicts;
         out.bankq_row_hits = self.bankq_row_hits - base.bankq_row_hits;
         out.bankq_row_misses = self.bankq_row_misses - base.bankq_row_misses;
+        out.bankq_stall_cycles = self.bankq_stall_cycles - base.bankq_stall_cycles;
+        out.llc_extra_misses = self.llc_extra_misses - base.llc_extra_misses;
+        out.llc_delay_cycles = self.llc_delay_cycles - base.llc_delay_cycles;
+        out.coh_cross_invalidations = self.coh_cross_invalidations - base.coh_cross_invalidations;
+        out.coh_cross_delay_cycles = self.coh_cross_delay_cycles - base.coh_cross_delay_cycles;
         out
     }
 
@@ -200,6 +218,11 @@ impl MachineStats {
         self.bankq_conflicts += other.bankq_conflicts;
         self.bankq_row_hits += other.bankq_row_hits;
         self.bankq_row_misses += other.bankq_row_misses;
+        self.bankq_stall_cycles += other.bankq_stall_cycles;
+        self.llc_extra_misses += other.llc_extra_misses;
+        self.llc_delay_cycles += other.llc_delay_cycles;
+        self.coh_cross_invalidations += other.coh_cross_invalidations;
+        self.coh_cross_delay_cycles += other.coh_cross_delay_cycles;
     }
 }
 
@@ -226,6 +249,23 @@ impl fmt::Display for MachineStats {
                 self.bankq_conflicts,
                 self.bankq_row_hits,
                 self.bankq_row_misses
+            )?;
+        }
+        if self.bankq_stall_cycles != 0 {
+            writeln!(
+                f,
+                "interconnect: {} port-stall cycles",
+                self.bankq_stall_cycles
+            )?;
+        }
+        if self.llc_extra_misses != 0 || self.coh_cross_invalidations != 0 {
+            writeln!(
+                f,
+                "shared LLC: {} extra misses ({} cyc) | coherence {} invalidations ({} cyc)",
+                self.llc_extra_misses,
+                self.llc_delay_cycles,
+                self.coh_cross_invalidations,
+                self.coh_cross_delay_cycles
             )?;
         }
         write!(
@@ -283,6 +323,11 @@ mod tests {
         delta.bankq_conflicts = 2;
         delta.bankq_row_hits = 3;
         delta.bankq_row_misses = 4;
+        delta.bankq_stall_cycles = 6;
+        delta.llc_extra_misses = 2;
+        delta.llc_delay_cycles = 90;
+        delta.coh_cross_invalidations = 1;
+        delta.coh_cross_delay_cycles = 25;
         total.merge(&delta);
         assert_eq!(total.diff(&base), delta);
     }

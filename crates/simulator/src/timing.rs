@@ -9,7 +9,7 @@
 
 use crate::addr::PhysAddr;
 use crate::config::{MachineConfig, MemTechConfig};
-use crate::interconnect::MemEvent;
+use crate::interconnect::{LlcEvent, MemEvent};
 use crate::stats::MachineStats;
 
 /// Which memory technology an access targets.
@@ -108,18 +108,26 @@ pub struct MemTiming {
     /// contention the model exists to expose.
     cursor: u64,
     events: Vec<MemEvent>,
+    /// When `true` (interconnect enabled *and* the shared-LLC or
+    /// coherence actor is on), L3 demand probes are also recorded for the
+    /// epoch replay against the shared set space.
+    llc_recording: bool,
+    llc_events: Vec<LlcEvent>,
 }
 
 impl MemTiming {
     /// Creates the timing model from a machine configuration.
     pub fn new(cfg: &MachineConfig) -> Self {
+        let icfg = &cfg.interconnect;
         Self {
             dram: Channel::new(cfg.dram),
             nvram: Channel::new(cfg.nvram),
-            recording: cfg.interconnect.enabled,
+            recording: icfg.enabled,
             now: 0,
             cursor: 0,
             events: Vec::new(),
+            llc_recording: icfg.enabled && (icfg.shared_llc || icfg.coherence),
+            llc_events: Vec::new(),
         }
     }
 
@@ -183,9 +191,41 @@ impl MemTiming {
         std::mem::swap(&mut self.events, buf);
     }
 
-    /// Drops any recorded events in place, keeping the allocation.
+    /// Drops any recorded events in place, keeping the allocations.
     pub fn discard_events(&mut self) {
         self.events.clear();
+        self.llc_events.clear();
+    }
+
+    /// Whether L3 demand probes are being recorded for the shared-LLC /
+    /// coherence actors.
+    pub fn llc_recording(&self) -> bool {
+        self.llc_recording
+    }
+
+    /// Records one L3 demand probe for the shared-LLC replay (a no-op
+    /// unless the LLC actors are on). `line` is the local line index,
+    /// `private_hit` whether the shard's own L3 slice hit. Probes need no
+    /// pacing — the shared LLC models capacity, not a queue — so they are
+    /// stamped with the core clock directly.
+    pub fn record_llc_probe(&mut self, line: u64, mem: MemKind, write: bool, private_hit: bool) {
+        if self.llc_recording {
+            self.llc_events.push(LlcEvent {
+                at: self.now,
+                line,
+                mem,
+                write,
+                private_hit,
+            });
+        }
+    }
+
+    /// Moves the recorded LLC-probe stream into `buf` (cleared first),
+    /// recycling `buf`'s allocation — the same zero-allocation ping-pong
+    /// as [`swap_events`](Self::swap_events).
+    pub fn swap_llc_events(&mut self, buf: &mut Vec<LlcEvent>) {
+        buf.clear();
+        std::mem::swap(&mut self.llc_events, buf);
     }
 
     /// Pushes the pacing cursor `delay` cycles further out: when the
@@ -203,6 +243,7 @@ impl MemTiming {
         self.dram.reset_rows();
         self.nvram.reset_rows();
         self.events.clear();
+        self.llc_events.clear();
         self.cursor = 0;
     }
 }
@@ -357,6 +398,31 @@ mod tests {
         );
         t.reset();
         assert!(t.take_events().is_empty());
+    }
+
+    #[test]
+    fn llc_probes_record_only_when_the_actors_are_on() {
+        let (cfg, mut t, _s) = setup();
+        assert!(!t.llc_recording());
+        t.record_llc_probe(7, MemKind::Nvram, true, true);
+        let mut buf = Vec::new();
+        t.swap_llc_events(&mut buf);
+        assert!(buf.is_empty(), "plain shared() records no probes");
+
+        let mut icfg = cfg.clone();
+        icfg.interconnect = crate::config::InterconnectConfig::shared_hierarchy();
+        let mut t = MemTiming::new(&icfg);
+        assert!(t.llc_recording());
+        t.set_now(123);
+        t.record_llc_probe(7, MemKind::Dram, false, true);
+        t.swap_llc_events(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].at, 123);
+        assert!(buf[0].private_hit);
+        t.record_llc_probe(8, MemKind::Nvram, true, false);
+        t.reset();
+        t.swap_llc_events(&mut buf);
+        assert!(buf.is_empty(), "reset discards LLC probes");
     }
 
     #[test]

@@ -47,7 +47,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ssp_simulator::cache::CoreId;
 use ssp_simulator::config::MachineConfig;
-use ssp_simulator::interconnect::{EpochCharge, Interconnect, MemEvent};
+use ssp_simulator::interconnect::{EpochCharge, Interconnect, LlcEvent, MemEvent};
 use ssp_simulator::machine::Machine;
 use ssp_simulator::stats::{MachineStats, WriteClass};
 use ssp_txn::engine::{TxnEngine, TxnStats};
@@ -339,6 +339,7 @@ pub(crate) struct EpochSync {
 pub(crate) struct EpochState {
     pub(crate) interconnect: Option<Interconnect>,
     pub(crate) streams: Vec<Vec<MemEvent>>,
+    pub(crate) llc_streams: Vec<Vec<LlcEvent>>,
     pub(crate) remaining: Vec<u64>,
     pub(crate) charges: Vec<EpochCharge>,
     pub(crate) done: bool,
@@ -351,6 +352,7 @@ impl EpochSync {
             state: Mutex::new(EpochState {
                 interconnect: None,
                 streams: vec![Vec::new(); workers],
+                llc_streams: vec![Vec::new(); workers],
                 remaining: vec![u64::MAX; workers],
                 charges: vec![EpochCharge::default(); workers],
                 done: false,
@@ -443,6 +445,9 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
                 self.engine
                     .machine_mut()
                     .take_mem_events_into(&mut st.streams[w]);
+                self.engine
+                    .machine_mut()
+                    .take_llc_events_into(&mut st.llc_streams[w]);
                 st.remaining[w] = remaining;
             }
             if sync.barrier.wait() {
@@ -452,7 +457,7 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
                 let ic = st
                     .interconnect
                     .get_or_insert_with(|| Interconnect::new(arbiter_cfg, shards));
-                st.charges = ic.arbitrate(&st.streams);
+                st.charges = ic.arbitrate_epoch(&st.streams, &st.llc_streams);
                 st.done = st.remaining.iter().all(|&r| r == 0);
             }
             sync.barrier.wait();
@@ -767,6 +772,7 @@ fn run_epochs_sequential<E: TxnEngine, W: Workload>(workers: &mut [Worker<E, W>]
     // One stream buffer per worker, recycled across epochs exactly like
     // the threaded driver's EpochSync slots.
     let mut streams: Vec<Vec<MemEvent>> = vec![Vec::new(); workers.len()];
+    let mut llc_streams: Vec<Vec<LlcEvent>> = vec![Vec::new(); workers.len()];
     loop {
         for (w, worker) in workers.iter_mut().enumerate() {
             remaining[w] = worker.run_until(remaining[w], targets[w]);
@@ -774,8 +780,12 @@ fn run_epochs_sequential<E: TxnEngine, W: Workload>(workers: &mut [Worker<E, W>]
                 .engine
                 .machine_mut()
                 .take_mem_events_into(&mut streams[w]);
+            worker
+                .engine
+                .machine_mut()
+                .take_llc_events_into(&mut llc_streams[w]);
         }
-        let charges = ic.arbitrate(&streams);
+        let charges = ic.arbitrate_epoch(&streams, &llc_streams);
         for (w, worker) in workers.iter_mut().enumerate() {
             worker
                 .engine

@@ -96,6 +96,8 @@ proptest! {
         dram_banks in 1usize..128,
         nvram_banks in 1usize..64,
         partitioned in any::<bool>(),
+        (fair, max_inflight, shared_llc) in (any::<bool>(), 0usize..16, any::<bool>()),
+        (coherence, llc_sets, llc_ways) in (any::<bool>(), 1usize..20_000, 1usize..32),
     ) {
         let fuzzed = InterconnectConfig {
             enabled: false,
@@ -103,6 +105,12 @@ proptest! {
             dram_banks,
             nvram_banks,
             partitioned,
+            fair,
+            max_inflight,
+            shared_llc,
+            coherence,
+            llc_sets,
+            llc_ways,
         };
         for threads in [1usize, 2, 4] {
             let fuzzed_run = measure(fuzzed, threads);
