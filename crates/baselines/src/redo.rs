@@ -16,6 +16,7 @@ use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::ObsKind;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
 use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
@@ -193,10 +194,12 @@ impl TxnEngine for RedoLog {
         self.next_tid += 1;
         self.open[core.index()] = Some(OpenTxn { tid });
         self.machine.add_cycles(core, 10);
+        self.machine.obs_record(ObsKind::TxnBegin, tid);
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
+        self.machine.obs_record(ObsKind::ReadSpan, addr.raw());
         for span in line_spans(addr, buf.len()) {
             let paddr = self.paddr_of(core, span.addr);
             // Serve from the overflow buffer if the line spilled.
@@ -224,6 +227,7 @@ impl TxnEngine for RedoLog {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
+        self.machine.obs_record(ObsKind::WriteSpan, addr.raw());
         self.trackers[core.index()].record(addr, data.len());
         for span in line_spans(addr, data.len()) {
             self.store_line(
@@ -239,6 +243,7 @@ impl TxnEngine for RedoLog {
             .as_ref()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"))
             .tid;
+        self.machine.obs_record(ObsKind::Validate, tid);
         // Sorted: the map's hash order varies per instance, and drain
         // order reaches the row-buffer model (determinism contract). The
         // sort runs in an engine-owned scratch vector (no per-commit
@@ -311,12 +316,14 @@ impl TxnEngine for RedoLog {
         self.lines[core.index()].clear();
         self.overflow[core.index()].clear();
         self.trackers[core.index()].fold_commit(&mut self.stats);
+        self.machine.obs_record(ObsKind::Commit, tid);
     }
 
     fn abort(&mut self, core: CoreId) {
-        let _txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
+        self.machine.obs_record(ObsKind::Abort, txn.tid);
         let lines = std::mem::take(&mut self.lines[core.index()]);
         for &pline in lines.keys() {
             // Speculative lines never reached home: dropping them restores
@@ -353,6 +360,7 @@ impl TxnEngine for RedoLog {
     }
 
     fn recover(&mut self) {
+        self.machine.obs_record(ObsKind::RecoveryReplay, 0);
         self.vm.recover(&self.machine);
         // Fault site: before any redo replay writes land — a crash
         // *during recovery*; rerunning recovery must succeed (redo

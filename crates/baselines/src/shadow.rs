@@ -13,6 +13,7 @@ use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::ObsKind;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
 use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
@@ -200,10 +201,12 @@ impl TxnEngine for ShadowPaging {
         self.next_tid += 1;
         self.open[core.index()] = Some(OpenTxn { tid });
         self.machine.add_cycles(core, 10);
+        self.machine.obs_record(ObsKind::TxnBegin, tid);
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
+        self.machine.obs_record(ObsKind::ReadSpan, addr.raw());
         for span in line_spans(addr, buf.len()) {
             let paddr = self.resolve(core, span.addr);
             let r = self.machine.read(
@@ -221,6 +224,7 @@ impl TxnEngine for ShadowPaging {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
+        self.machine.obs_record(ObsKind::WriteSpan, addr.raw());
         self.trackers[core.index()].record(addr, data.len());
         for span in line_spans(addr, data.len()) {
             self.store_line(
@@ -235,6 +239,7 @@ impl TxnEngine for ShadowPaging {
         let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
+        self.machine.obs_record(ObsKind::Validate, txn.tid);
         // 1. Persist the written shadow lines.
         let dirty = std::mem::take(&mut self.dirty_lines[core.index()]);
         for &line in &dirty {
@@ -287,12 +292,14 @@ impl TxnEngine for ShadowPaging {
         self.scratch_remaps = remaps;
         self.logs[core.index()].truncate();
         self.trackers[core.index()].fold_commit(&mut self.stats);
+        self.machine.obs_record(ObsKind::Commit, txn.tid);
     }
 
     fn abort(&mut self, core: CoreId) {
-        let _txn = self.open[core.index()]
+        let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
+        self.machine.obs_record(ObsKind::Abort, txn.tid);
         // Sorted by VPN: recycling order decides future frame allocation,
         // and the map's hash order varies per instance.
         let dropped = sorted_scratch(
@@ -335,6 +342,7 @@ impl TxnEngine for ShadowPaging {
     }
 
     fn recover(&mut self) {
+        self.machine.obs_record(ObsKind::RecoveryReplay, 0);
         self.vm.recover(&self.machine);
         // Fault site: before any remap replay writes land — a crash
         // *during recovery*; rerunning recovery must succeed (remap

@@ -16,6 +16,7 @@ use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::ObsKind;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
 use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
@@ -180,10 +181,12 @@ impl TxnEngine for UndoLog {
         self.next_tid += 1;
         self.open[core.index()] = Some(OpenTxn { tid });
         self.machine.add_cycles(core, 10);
+        self.machine.obs_record(ObsKind::TxnBegin, tid);
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
+        self.machine.obs_record(ObsKind::ReadSpan, addr.raw());
         for span in line_spans(addr, buf.len()) {
             let paddr = self.paddr_of(core, span.addr);
             let r = self.machine.read(
@@ -201,6 +204,7 @@ impl TxnEngine for UndoLog {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
+        self.machine.obs_record(ObsKind::WriteSpan, addr.raw());
         self.trackers[core.index()].record(addr, data.len());
         for span in line_spans(addr, data.len()) {
             self.store_line(
@@ -215,6 +219,7 @@ impl TxnEngine for UndoLog {
         let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
+        self.machine.obs_record(ObsKind::Validate, txn.tid);
         // Flush the write set so the new values are durable. Sorted: the
         // set's hash order varies per instance, and flush order reaches
         // the row-buffer model (determinism contract of `TxnEngine`).
@@ -241,12 +246,14 @@ impl TxnEngine for UndoLog {
         // The log space can be reused.
         self.logs[core.index()].truncate();
         self.trackers[core.index()].fold_commit(&mut self.stats);
+        self.machine.obs_record(ObsKind::Commit, txn.tid);
     }
 
     fn abort(&mut self, core: CoreId) {
         let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
+        self.machine.obs_record(ObsKind::Abort, txn.tid);
         // Apply undo images in reverse.
         let entries = self.logs[core.index()].read_all(&self.machine);
         for entry in entries.iter().rev() {
@@ -277,6 +284,7 @@ impl TxnEngine for UndoLog {
     }
 
     fn recover(&mut self) {
+        self.machine.obs_record(ObsKind::RecoveryReplay, 0);
         self.vm.recover(&self.machine);
         let mut max_tid = 0;
         let mut per_core: Vec<(u64, Vec<LogEntry>)> = Vec::new();

@@ -81,6 +81,11 @@ fn main() -> ExitCode {
     let mut warnings = 0usize;
     // (name, baseline wall ms, fresh wall ms) for the host-speed table.
     let mut host_rows: Vec<(String, f64, f64)> = Vec::new();
+    // (target:cell, base p50, base p99, fresh p50, fresh p99) for the
+    // warn-only latency-delta table; base columns are None until the
+    // committed baselines carry `host.latency` sections of their own.
+    #[allow(clippy::type_complexity)]
+    let mut lat_rows: Vec<(String, Option<u64>, Option<u64>, u64, u64)> = Vec::new();
     for name in &baseline_names {
         let fresh_path = fresh.join(name);
         if !fresh_path.exists() {
@@ -111,6 +116,30 @@ fn main() -> ExitCode {
             // a zero/garbage wall_ms must not put inf/NaN in the table.
             if b > 0.0 && f > 0.0 {
                 host_rows.push((name.clone(), b, f));
+            }
+        }
+        let latency = |doc: &Json| doc.get("host").and_then(|h| h.get("latency")).cloned();
+        let base_lat = latency(&base_doc);
+        if let Some(Json::Obj(cells)) = latency(&fresh_doc) {
+            let target = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+            let pick = |c: &Json, key: &str| -> Option<u64> {
+                c.get("txn")
+                    .and_then(|t| t.get(key))
+                    .and_then(Json::as_f64)
+                    .map(|v| v as u64)
+            };
+            for (label, cell) in &cells {
+                let (Some(f50), Some(f99)) = (pick(cell, "p50"), pick(cell, "p99")) else {
+                    continue;
+                };
+                let base_cell = base_lat.as_ref().and_then(|b| b.get(label));
+                lat_rows.push((
+                    format!("{target}:{label}"),
+                    base_cell.and_then(|c| pick(c, "p50")),
+                    base_cell.and_then(|c| pick(c, "p99")),
+                    f50,
+                    f99,
+                ));
             }
         }
         let DiffReport {
@@ -188,6 +217,28 @@ fn main() -> ExitCode {
             fresh_total,
             fresh_total / base_total
         );
+    }
+
+    // Warn-only per-cell latency-delta table: the histograms are
+    // deterministic simulated state, but they live under `host` (see
+    // `latency_json`) so new percentile columns never fail the gate.
+    if !lat_rows.is_empty() {
+        println!("\ntxn latency per cell (cycles, warn-only; '-' = not in baseline):");
+        println!(
+            "  {:<52} {:>9} {:>9} {:>9} {:>9}",
+            "target:cell", "base p50", "new p50", "base p99", "new p99"
+        );
+        let opt = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string());
+        for (label, b50, b99, f50, f99) in &lat_rows {
+            println!(
+                "  {:<52} {:>9} {:>9} {:>9} {:>9}",
+                label,
+                opt(*b50),
+                f50,
+                opt(*b99),
+                f99
+            );
+        }
     }
 
     println!(

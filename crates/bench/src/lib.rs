@@ -11,9 +11,14 @@ pub mod json;
 pub mod matrix;
 pub mod report;
 pub mod targets;
+pub mod trace;
 
 pub use matrix::{AnyEngine, CellDriver, CellOut, CellSpec, MatrixRunner};
-pub use report::{cell_json, diff_reports, BenchReport, DiffReport, SCHEMA_VERSION};
+pub use report::{
+    cell_json, diff_reports, hist_json, latency_json, latency_section, BenchReport, DiffReport,
+    LATENCY_COLUMNS, SCHEMA_VERSION,
+};
+pub use ssp_simulator::obs::{LatencyStats, ObsConfig};
 
 use ssp_baselines::{RedoLog, ShadowPaging, UndoLog};
 use ssp_core::engine::Ssp;
@@ -450,6 +455,43 @@ pub fn print_matrix(title: &str, columns: &[&str], rows: &[(String, Vec<String>)
 /// Formats a ratio to two decimals.
 pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.2}")
+}
+
+/// Prints the per-cell transaction-latency percentile table and attaches
+/// the same summaries to `report` under `host.latency` (warn-only in
+/// `bench_diff` — see [`latency_json`]).
+pub fn attach_latency(report: &mut BenchReport, title: &str, rows: &[(String, LatencyStats)]) {
+    if rows.is_empty() {
+        return;
+    }
+    let (obj, table) = latency_section(rows);
+    report.host("latency", obj);
+    print_matrix(title, &LATENCY_COLUMNS, &table);
+}
+
+/// Labelled latency rows for a spec/result grid, one per cell. The index
+/// prefix keeps labels unique when a sweep repeats (engine, workload,
+/// threads) tuples with different machine or engine configs.
+pub fn latency_rows<'a>(
+    specs: &[CellSpec],
+    results: impl IntoIterator<Item = &'a RunResult>,
+) -> Vec<(String, LatencyStats)> {
+    specs
+        .iter()
+        .zip(results)
+        .enumerate()
+        .map(|(i, (s, r))| {
+            (
+                format!(
+                    "{i:02}:{}/{}/x{}",
+                    s.engine.name(),
+                    s.workload.name(),
+                    s.run_cfg.threads
+                ),
+                r.latency.clone(),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

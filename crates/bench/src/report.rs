@@ -27,6 +27,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::json::Json;
+use ssp_simulator::obs::{LatencyHistogram, LatencyStats};
 use ssp_workloads::runner::RunResult;
 
 /// Version of the `BENCH_*.json` schema this emitter writes. Bump on any
@@ -154,6 +155,62 @@ pub fn cell_json(threads: usize, r: &RunResult) -> Json {
     cell.set("bankq_row_misses", Json::U64(r.stats.bankq_row_misses));
     cell
 }
+
+/// Percentile summary of one latency histogram: `{count, mean, p50, p95,
+/// p99, max}`, all in simulated cycles.
+///
+/// Latency summaries are emitted under the **`host`** section of the
+/// reports. The histograms themselves are deterministic simulated state,
+/// but keeping them out of `sim` lets the observability layer land (and
+/// evolve) without invalidating every committed baseline; `bench_diff`
+/// surfaces them as a warn-only delta table instead.
+pub fn hist_json(h: &LatencyHistogram) -> Json {
+    let mut o = Json::obj();
+    o.set("count", Json::U64(h.count));
+    o.set("mean", Json::U64(h.mean()));
+    o.set("p50", Json::U64(h.percentile(50)));
+    o.set("p95", Json::U64(h.percentile(95)));
+    o.set("p99", Json::U64(h.percentile(99)));
+    o.set("max", Json::U64(h.max));
+    o
+}
+
+/// Per-phase latency summary of one run: `{txn, begin, exec, commit}`,
+/// each a [`hist_json`] object.
+pub fn latency_json(l: &LatencyStats) -> Json {
+    let mut o = Json::obj();
+    o.set("txn", hist_json(&l.txn));
+    o.set("begin", hist_json(&l.begin));
+    o.set("exec", hist_json(&l.exec));
+    o.set("commit", hist_json(&l.commit));
+    o
+}
+
+/// Builds the `host.latency` object from labelled per-cell latency stats
+/// and the matching printable table rows (columns: p50, p95, p99, max,
+/// mean of the whole-transaction histogram, in cycles).
+pub fn latency_section(rows: &[(String, LatencyStats)]) -> (Json, Vec<(String, Vec<String>)>) {
+    let mut obj = Json::obj();
+    let mut table = Vec::with_capacity(rows.len());
+    for (label, l) in rows {
+        obj.set(label, latency_json(l));
+        let t = &l.txn;
+        table.push((
+            label.clone(),
+            vec![
+                t.percentile(50).to_string(),
+                t.percentile(95).to_string(),
+                t.percentile(99).to_string(),
+                t.max.to_string(),
+                t.mean().to_string(),
+            ],
+        ));
+    }
+    (obj, table)
+}
+
+/// Column headers matching [`latency_section`]'s table rows.
+pub const LATENCY_COLUMNS: [&str; 5] = ["p50", "p95", "p99", "max", "mean"];
 
 /// Outcome of comparing one fresh report against its committed baseline.
 #[derive(Debug, Default)]

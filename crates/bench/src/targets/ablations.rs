@@ -25,8 +25,8 @@ use ssp_simulator::stats::WriteClass;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, fmt_ratio, print_matrix, BenchReport, CellOut, CellSpec, EngineKind,
-    MatrixRunner, SspConfig, WorkloadKind,
+    attach_latency, cell_json, env_setup, fmt_ratio, latency_rows, print_matrix, BenchReport,
+    CellOut, CellSpec, EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 const CONSOLIDATION_WORKLOADS: [WorkloadKind; 3] = [
@@ -272,6 +272,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     report.sim("shadow_paging", shadow_section(shadow));
     report.sim("checkpoint_threshold", checkpoint_section(checkpoint));
     report.sim("subpage_granularity", subpage_section(subpage));
+    attach_latency(
+        &mut report,
+        "Ablations: txn latency percentiles (cycles)",
+        &latency_rows(&specs, outs.iter().map(|o| &o.result)),
+    );
     report.host_wall(t0.elapsed());
     report
 }

@@ -22,6 +22,7 @@
 use std::time::Instant;
 
 use ssp_simulator::config::MachineConfig;
+use ssp_simulator::obs::{ObsConfig, ObsKind};
 use ssp_workloads::storm::{run_storm, StormRun, StormSchedule};
 use ssp_workloads::ExecMode;
 
@@ -154,6 +155,80 @@ pub fn run(_runner: &MatrixRunner) -> BenchReport {
 
     let mut report = BenchReport::new("crash_storm", quick);
     report.sim("rows", Json::Arr(sim_rows));
+    report.host("flight_recorder", flight_recorder_cell());
     report.host_wall(t0.elapsed());
     report
+}
+
+/// One obs-enabled storm cell exercising the crash flight recorder: a
+/// known schedule must leave a non-empty per-shard ring tail (asserted
+/// here, so CI fails loudly if the recorder ever drains empty). The
+/// drained tails are deterministic virtual-time state, but they are
+/// surfaced under `host` — the observability layer stays out of the
+/// exact-gated `sim` baselines.
+fn flight_recorder_cell() -> Json {
+    const THREADS: usize = 2;
+    let (mut run_cfg, scale) = env_setup(THREADS);
+    run_cfg.txns += run_cfg.warmup;
+    run_cfg.warmup = 0;
+    let shard_scale = scale.per_shard(THREADS);
+    let schedule = StormSchedule {
+        points: vec![ssp_workloads::StormPoint::AfterCycles(3_000)],
+        crash_during_recovery: false,
+        rearm: true,
+    };
+    let ssp_cfg = SspConfig::default();
+    let cfg = MachineConfig::default();
+    let shard_cfgs: Vec<MachineConfig> = (0..THREADS)
+        .map(|w| {
+            let mut c = cfg.shard_slice_for(THREADS, w);
+            c.obs = ObsConfig::tracing();
+            c.obs.worker = w as u32;
+            c
+        })
+        .collect();
+    let storm = run_storm(
+        |w| make_engine(EngineKind::Ssp, &shard_cfgs[w], &ssp_cfg),
+        |_w| make_workload(WorkloadKind::Sps, shard_scale),
+        &run_cfg,
+        &schedule,
+    );
+
+    let mut shards = Vec::new();
+    for s in &storm.shards {
+        assert!(
+            !s.flight_tail.is_empty(),
+            "flight recorder drained an empty tail on shard {} — \
+             the storm tripped {} time(s) with tracing on",
+            s.worker,
+            s.storms
+        );
+        let faults = s
+            .flight_tail
+            .iter()
+            .filter(|e| e.kind == ObsKind::Fault)
+            .count();
+        println!(
+            "flight recorder: shard {} tail holds {} event(s) ({} fault marker(s)), \
+             last at cycle {}",
+            s.worker,
+            s.flight_tail.len(),
+            faults,
+            s.flight_tail.last().map(|e| e.at).unwrap_or(0)
+        );
+        let mut obj = Json::obj();
+        obj.set("worker", Json::U64(s.worker as u64));
+        obj.set("storms", Json::U64(s.storms));
+        obj.set("tail_events", Json::U64(s.flight_tail.len() as u64));
+        obj.set("tail_fault_markers", Json::U64(faults as u64));
+        obj.set(
+            "tail_last_cycle",
+            Json::U64(s.flight_tail.last().map(|e| e.at).unwrap_or(0)),
+        );
+        shards.push(obj);
+    }
+    let mut out = Json::obj();
+    out.set("schedule_period_cycles", Json::U64(3_000));
+    out.set("shards", Json::Arr(shards));
+    out
 }

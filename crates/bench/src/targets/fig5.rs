@@ -16,8 +16,8 @@ use ssp_simulator::config::MachineConfig;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, fmt_ratio, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner,
-    SspConfig, WorkloadKind,
+    attach_latency, cell_json, env_setup, fmt_ratio, latency_rows, print_matrix, BenchReport,
+    CellSpec, EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 /// Runs the target and returns its report.
@@ -72,6 +72,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     println!("shape, not the absolute contention penalty, is the comparison");
 
     report.sim("cells", Json::Arr(cells));
+    attach_latency(
+        &mut report,
+        "Figure 5: txn latency percentiles (cycles)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

@@ -28,8 +28,8 @@ use ssp_workloads::runner::{ExecMode, RunConfig};
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner, RunResult, Scale, SspConfig,
-    WorkloadKind,
+    attach_latency, latency_rows, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner,
+    RunResult, Scale, SspConfig, WorkloadKind,
 };
 
 const CLIENTS: [usize; 4] = [1, 2, 4, 8];
@@ -219,6 +219,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     let mut series = json_series("shared", &shared);
     series.extend(json_series("partitioned", &partitioned));
     report.sim("series", Json::Arr(series));
+    attach_latency(
+        &mut report,
+        "Figure 5b: txn latency percentiles (cycles; shared sweep first)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

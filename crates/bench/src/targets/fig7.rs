@@ -15,8 +15,8 @@ use ssp_simulator::stats::WriteClass;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, fmt_ratio, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner,
-    SspConfig, WorkloadKind,
+    attach_latency, cell_json, env_setup, fmt_ratio, latency_rows, print_matrix, BenchReport,
+    CellSpec, EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 /// Runs the target and returns its report.
@@ -82,6 +82,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     println!("dominates only under SPS (poor locality -> premature consolidation)");
 
     report.sim("cells", Json::Arr(cells));
+    attach_latency(
+        &mut report,
+        "Figure 7: txn latency percentiles (cycles)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

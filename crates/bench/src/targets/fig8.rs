@@ -9,8 +9,8 @@ use ssp_simulator::config::MachineConfig;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner, SspConfig,
-    WorkloadKind,
+    attach_latency, cell_json, env_setup, latency_rows, print_matrix, BenchReport, CellSpec,
+    EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 const MULTS: [f64; 5] = [1.0, 3.0, 5.0, 7.0, 9.0];
@@ -69,6 +69,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     println!("(~8% on RBTree) because cheap persists hide redo's data write-back");
 
     report.sim("cells", Json::Arr(cells));
+    attach_latency(
+        &mut report,
+        "Figure 8: txn latency percentiles (cycles)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

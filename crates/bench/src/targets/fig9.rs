@@ -13,8 +13,8 @@ use ssp_simulator::config::MachineConfig;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, fmt_ratio, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner,
-    SspConfig, WorkloadKind,
+    attach_latency, cell_json, env_setup, fmt_ratio, latency_rows, print_matrix, BenchReport,
+    CellSpec, EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 const LATENCIES: [u64; 5] = [20, 60, 100, 140, 180];
@@ -92,6 +92,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     println!("misses re-fetch SSP metadata); zipfian less sensitive than random");
 
     report.sim("cells", Json::Arr(cells));
+    attach_latency(
+        &mut report,
+        "Figure 9: txn latency percentiles (cycles)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

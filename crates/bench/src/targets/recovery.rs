@@ -20,8 +20,8 @@ use ssp_txn::engine::TxnEngine;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    env_setup, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner, SspConfig,
-    WorkloadKind,
+    attach_latency, env_setup, latency_rows, print_matrix, BenchReport, CellSpec, EngineKind,
+    MatrixRunner, SspConfig, WorkloadKind,
 };
 
 /// Warm recovery repetitions; the minimum is reported (host-noise floor).
@@ -53,6 +53,7 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
         })
         .collect();
     let outs = runner.run_exclusive(&specs);
+    let lat_rows = latency_rows(&specs, outs.iter().map(|o| &o.result));
 
     let mut sim_rows = Vec::new();
     let mut host_rows = Vec::new();
@@ -141,6 +142,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
 
     let mut report = BenchReport::new("recovery_time", quick_mode());
     report.sim("rows", Json::Arr(sim_rows));
+    attach_latency(
+        &mut report,
+        "Recovery cells: txn latency percentiles (cycles)",
+        &lat_rows,
+    );
     report.host("rows", Json::Arr(host_rows));
     report.host_wall(t0.elapsed());
     report

@@ -27,14 +27,19 @@ use ssp_workloads::runner::RunConfig;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    env_setup, fmt_ratio, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner, SspConfig,
-    WorkloadKind,
+    attach_latency, env_setup, fmt_ratio, print_matrix, BenchReport, CellSpec, EngineKind,
+    LatencyStats, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const WORKLOADS: [WorkloadKind; 2] = [WorkloadKind::BTreeRand, WorkloadKind::Sps];
 
-fn sweep(runner: &MatrixRunner, wkind: WorkloadKind, sim_out: &mut Vec<Json>) {
+fn sweep(
+    runner: &MatrixRunner,
+    wkind: WorkloadKind,
+    sim_out: &mut Vec<Json>,
+    lat_out: &mut Vec<(String, LatencyStats)>,
+) {
     let ssp_cfg = SspConfig::default();
     let mut rows = Vec::new();
     for ekind in EngineKind::PAPER {
@@ -74,6 +79,10 @@ fn sweep(runner: &MatrixRunner, wkind: WorkloadKind, sim_out: &mut Vec<Json>) {
                 / outs[0].host_elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
             sim_cells.push(fmt_ratio(sim_ratio));
             host_cells.push(fmt_ratio(host_ratio));
+            lat_out.push((
+                format!("{}/{}/x{threads}", ekind.name(), wkind.name()),
+                outs[0].result.latency.clone(),
+            ));
 
             let mut point = Json::obj();
             point.set("engine", Json::Str(ekind.name().to_string()));
@@ -107,8 +116,9 @@ fn sweep(runner: &MatrixRunner, wkind: WorkloadKind, sim_out: &mut Vec<Json>) {
 pub fn run(runner: &MatrixRunner) -> BenchReport {
     let t0 = Instant::now();
     let mut sim_points = Vec::new();
+    let mut lat_rows = Vec::new();
     for wkind in WORKLOADS {
-        sweep(runner, wkind, &mut sim_points);
+        sweep(runner, wkind, &mut sim_points, &mut lat_rows);
     }
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -119,6 +129,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
 
     let mut report = BenchReport::new("scaling_threads", quick_mode());
     report.sim("points", Json::Arr(sim_points));
+    attach_latency(
+        &mut report,
+        "Thread scaling: txn latency percentiles (cycles)",
+        &lat_rows,
+    );
     report.host("parallelism", Json::U64(host_cores as u64));
     report.host_wall(t0.elapsed());
     report

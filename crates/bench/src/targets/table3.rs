@@ -9,8 +9,8 @@ use ssp_simulator::config::MachineConfig;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner, SspConfig,
-    WorkloadKind,
+    attach_latency, cell_json, env_setup, latency_rows, print_matrix, BenchReport, CellSpec,
+    EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 /// Runs the target and returns its report.
@@ -53,6 +53,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     );
 
     report.sim("cells", Json::Arr(cells));
+    attach_latency(
+        &mut report,
+        "Table 3: txn latency percentiles (cycles)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

@@ -16,8 +16,8 @@ use ssp_simulator::stats::WriteClass;
 use super::quick_mode;
 use crate::json::Json;
 use crate::{
-    cell_json, env_setup, print_matrix, BenchReport, CellSpec, EngineKind, MatrixRunner, SspConfig,
-    WorkloadKind,
+    attach_latency, cell_json, env_setup, latency_rows, print_matrix, BenchReport, CellSpec,
+    EngineKind, MatrixRunner, SspConfig, WorkloadKind,
 };
 
 /// Runs the target and returns its report.
@@ -95,6 +95,11 @@ pub fn run(runner: &MatrixRunner) -> BenchReport {
     println!("       consolidation share 15% (Memcached) and 31% (Vacation)");
 
     report.sim("cells", Json::Arr(cells));
+    attach_latency(
+        &mut report,
+        "Tables 4/5: txn latency percentiles (cycles)",
+        &latency_rows(&specs, &results),
+    );
     report.host_wall(t0.elapsed());
     report
 }

@@ -24,6 +24,7 @@ use ssp_simulator::cache::{CoreId, TxEviction};
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::fault::FaultSite;
 use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::ObsKind;
 use ssp_simulator::stats::WriteClass;
 use ssp_simulator::tlb::Tlb;
 use ssp_txn::engine::{line_spans, sorted_scratch, TxnEngine, TxnStats, WriteSetTracker};
@@ -571,10 +572,12 @@ impl TxnEngine for Ssp {
         });
         // ATOMIC_BEGIN acts as a full barrier; charge a fence's worth.
         self.machine.add_cycles(core, 10);
+        self.machine.obs_record(ObsKind::TxnBegin, u64::from(tid));
     }
 
     fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
         self.stats.loads += 1;
+        self.machine.obs_record(ObsKind::ReadSpan, addr.raw());
         for span in line_spans(addr, buf.len()) {
             let vpn = span.addr.vpn();
             self.translate(core, vpn);
@@ -599,6 +602,7 @@ impl TxnEngine for Ssp {
             "ATOMIC_STORE outside a transaction on {core}"
         );
         self.stats.stores += 1;
+        self.machine.obs_record(ObsKind::WriteSpan, addr.raw());
         self.trackers[core.index()].record(addr, data.len());
         for span in line_spans(addr, data.len()) {
             self.store_line(
@@ -614,6 +618,7 @@ impl TxnEngine for Ssp {
             .take()
             .unwrap_or_else(|| panic!("commit without an open transaction on {core}"));
         let tid = txn.tid;
+        self.machine.obs_record(ObsKind::Validate, u64::from(tid));
         let lps = self.ssp_cfg.lines_per_subpage as u8;
 
         // 1. Data persistence: flush every write-set line at its current
@@ -690,12 +695,14 @@ impl TxnEngine for Ssp {
         self.scratch_pages = pages;
         self.scratch_released = released;
         self.maybe_checkpoint();
+        self.machine.obs_record(ObsKind::Commit, u64::from(tid));
     }
 
     fn abort(&mut self, core: CoreId) {
         let txn = self.open[core.index()]
             .take()
             .unwrap_or_else(|| panic!("abort without an open transaction on {core}"));
+        self.machine.obs_record(ObsKind::Abort, u64::from(txn.tid));
         let lps = self.ssp_cfg.lines_per_subpage as u8;
 
         // Discard speculative copies and flip current bits back (sorted
@@ -772,6 +779,7 @@ impl TxnEngine for Ssp {
     }
 
     fn recover(&mut self) {
+        self.machine.obs_record(ObsKind::RecoveryReplay, 0);
         // 1. Rebuild the OS structures and the persistent halves.
         self.vm.recover(&self.machine);
         {

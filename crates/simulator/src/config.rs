@@ -5,6 +5,8 @@
 //! 64-entry DTLB, and a hybrid memory with 50 ns DRAM and 50/200 ns
 //! (read/write) NVRAM.
 
+use crate::obs::ObsConfig;
+
 /// Configuration of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -197,6 +199,9 @@ pub struct MachineConfig {
     pub persist_mlp: usize,
     /// Shared cross-shard memory-interconnect model (disabled by default).
     pub interconnect: InterconnectConfig,
+    /// Observability layer (virtual-time event tracing; disabled by
+    /// default — see [`crate::obs`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for MachineConfig {
@@ -238,6 +243,7 @@ impl Default for MachineConfig {
             coherence_broadcast_cycles: 20,
             persist_mlp: 4,
             interconnect: InterconnectConfig::disabled(),
+            obs: ObsConfig::disabled(),
         }
     }
 }
@@ -315,6 +321,8 @@ impl MachineConfig {
         cfg.l3.size_bytes = share(self.l3.sets()).max(1) * self.l3.ways * line;
         cfg.dram.banks = share(self.dram.banks).max(1);
         cfg.nvram.banks = share(self.nvram.banks).max(1);
+        // Events recorded by this slice carry the owning worker's index.
+        cfg.obs.worker = worker as u32;
         cfg
     }
 }
@@ -474,5 +482,21 @@ mod tests {
             c.shard_slice_for(4, 0)
         };
         assert!(slice.interconnect.enabled);
+    }
+
+    #[test]
+    fn obs_defaults_are_inert_and_slicer_stamps_worker() {
+        let cfg = MachineConfig::default();
+        assert!(!cfg.obs.enabled);
+        assert_eq!(cfg.obs, ObsConfig::disabled());
+        assert!(ObsConfig::tracing().enabled);
+        // The slicer carries the knobs through and stamps the worker index.
+        let slice = {
+            let mut c = cfg.clone();
+            c.obs = ObsConfig::tracing();
+            c.shard_slice_for(4, 2)
+        };
+        assert!(slice.obs.enabled);
+        assert_eq!(slice.obs.worker, 2);
     }
 }

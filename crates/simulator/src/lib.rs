@@ -64,6 +64,7 @@ pub mod config;
 pub mod fault;
 pub mod interconnect;
 pub mod machine;
+pub mod obs;
 pub mod phys;
 pub mod stats;
 pub mod timing;
@@ -75,4 +76,5 @@ pub use config::{InterconnectConfig, MachineConfig};
 pub use fault::{CrashPoint, FaultSite};
 pub use interconnect::{EpochCharge, Interconnect, MemEvent};
 pub use machine::Machine;
+pub use obs::{LatencyHistogram, LatencyStats, ObsConfig, ObsEvent, ObsKind, ObsRing};
 pub use stats::{MachineStats, WriteClass};

@@ -11,6 +11,7 @@ use crate::cache::{AccessResult, CacheHierarchy, CoreId, LineOp};
 use crate::config::MachineConfig;
 use crate::fault::{CrashPoint, FaultSite, FaultState};
 use crate::interconnect::{EpochCharge, LlcEvent, MemEvent};
+use crate::obs::{ObsKind, ObsRing};
 use crate::phys::PhysMem;
 use crate::stats::{MachineStats, WriteClass};
 use crate::timing::{AccessKind, MemTiming};
@@ -43,6 +44,7 @@ pub struct Machine {
     stats: MachineStats,
     core_cycles: Vec<u64>,
     fault: FaultState,
+    obs: ObsRing,
 }
 
 impl Machine {
@@ -51,6 +53,7 @@ impl Machine {
         let timing = MemTiming::new(&cfg);
         let cache = CacheHierarchy::new(&cfg);
         let core_cycles = vec![0; cfg.cores];
+        let obs = ObsRing::new(&cfg.obs);
         Self {
             cfg,
             mem: PhysMem::new(),
@@ -59,6 +62,7 @@ impl Machine {
             stats: MachineStats::new(),
             core_cycles,
             fault: FaultState::default(),
+            obs,
         }
     }
 
@@ -101,6 +105,31 @@ impl Machine {
         self.core_cycles[core.index()] += cycles;
     }
 
+    /// The observability event ring (empty and inert unless
+    /// [`ObsConfig::enabled`] is set).
+    ///
+    /// [`ObsConfig::enabled`]: crate::obs::ObsConfig::enabled
+    pub fn obs(&self) -> &ObsRing {
+        &self.obs
+    }
+
+    /// Records one observability event stamped with the current virtual
+    /// clock (max per-core cycle count) and this shard's worker index.
+    /// A branch-and-return when tracing is off; never allocates, never
+    /// touches the simulated state.
+    #[inline]
+    pub fn obs_record(&mut self, kind: ObsKind, arg: u64) {
+        if self.obs.enabled() {
+            let now = self.core_cycles.iter().copied().max().unwrap_or(0);
+            self.obs.record(now, kind, arg);
+        }
+    }
+
+    /// Drops all held observability events (capacity is kept).
+    pub fn obs_clear(&mut self) {
+        self.obs.clear();
+    }
+
     /// Refreshes the local virtual time stamped onto memory events the
     /// timing model records for the cross-shard interconnect, and checks
     /// any armed virtual-time crash point against the same clock. Called
@@ -124,6 +153,8 @@ impl Machine {
             let now = self.core_cycles.iter().copied().max().unwrap_or(0);
             if self.fault.check_cycle(now) {
                 self.mem.freeze();
+                // Site code 0 = virtual-time (AtCycle) cut.
+                self.obs_record(ObsKind::Fault, 0);
             }
         }
     }
@@ -154,6 +185,7 @@ impl Machine {
     pub fn fault_point(&mut self, site: FaultSite) {
         if self.fault.check_site(site) {
             self.mem.freeze();
+            self.obs_record(ObsKind::Fault, fault_site_code(site));
         }
     }
 
@@ -207,6 +239,22 @@ impl Machine {
         self.stats.llc_delay_cycles += charge.llc_delay_cycles;
         self.stats.coh_cross_invalidations += charge.coh_invalidations;
         self.stats.coh_cross_delay_cycles += charge.coh_delay_cycles;
+        if self.obs.enabled() {
+            self.obs_record(ObsKind::EpochMerge, delay);
+            let grants = charge.row_hits + charge.row_misses;
+            if grants > 0 {
+                self.obs_record(ObsKind::BankGrant, grants);
+            }
+            if charge.port_stall_cycles > 0 {
+                self.obs_record(ObsKind::BankDefer, charge.port_stall_cycles);
+            }
+            if charge.llc_extra_misses > 0 {
+                self.obs_record(ObsKind::LlcShortfall, charge.llc_extra_misses);
+            }
+            if charge.coh_invalidations > 0 {
+                self.obs_record(ObsKind::CohInvalidate, charge.coh_invalidations);
+            }
+        }
         // The charge lands exactly once per epoch per shard, so arming
         // the same EpochBoundary schedule on every shard cuts the power
         // on all of them at the same epoch boundary.
@@ -515,7 +563,9 @@ impl Machine {
     /// Simulated power failure: all caches, row buffers, cycle accounting
     /// and DRAM contents are lost; NVRAM survives. Also consumes any
     /// fault-injection state — a tripped power cut ends here, and memory
-    /// becomes writable again.
+    /// becomes writable again. The observability ring is *kept*: it sits
+    /// outside the simulated machine, and the flight recorder needs the
+    /// pre-crash tail.
     pub fn crash(&mut self) {
         self.cache.crash();
         self.timing.reset();
@@ -543,6 +593,18 @@ impl Machine {
     /// the *durable* state — dirty cached lines have not reached memory.
     pub fn nvram_fingerprint(&self) -> u64 {
         self.mem.nvram_fingerprint()
+    }
+}
+
+/// Stable numeric code for a [`FaultSite`], carried as the `arg` of
+/// [`ObsKind::Fault`] events (0 is reserved for virtual-time cuts).
+pub fn fault_site_code(site: FaultSite) -> u64 {
+    match site {
+        FaultSite::CommitData => 1,
+        FaultSite::CommitMark => 2,
+        FaultSite::Consolidation => 3,
+        FaultSite::Recovery => 4,
+        FaultSite::EpochBoundary => 5,
     }
 }
 
@@ -714,6 +776,43 @@ mod tests {
         let mut buf = [0u8; 8];
         m.read_bytes_uncached(nv(11, 0), &mut buf);
         assert_eq!(buf, [5u8; 8]);
+    }
+
+    #[test]
+    fn obs_ring_records_stamped_events_and_survives_crash() {
+        use crate::obs::{ObsConfig, ObsKind};
+        let cfg = MachineConfig {
+            obs: ObsConfig {
+                worker: 3,
+                ..ObsConfig::tracing()
+            },
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        let c = CoreId::new(0);
+        m.write(c, nv(12, 0), &[1], false);
+        m.obs_record(ObsKind::Commit, 42);
+        assert_eq!(m.obs().len(), 1);
+        let ev = *m.obs().iter().next().unwrap();
+        assert_eq!(ev.kind, ObsKind::Commit);
+        assert_eq!(ev.arg, 42);
+        assert_eq!(ev.worker, 3);
+        assert_eq!(ev.at, m.elapsed_cycles());
+        // A tripped site fault records an event, and the ring survives
+        // the crash that follows.
+        m.arm_crash(CrashPoint::AtSite {
+            site: FaultSite::CommitMark,
+            hits: 1,
+        });
+        m.fault_point(FaultSite::CommitMark);
+        assert!(m.power_lost());
+        assert_eq!(m.obs().len(), 2);
+        m.crash();
+        assert_eq!(m.obs().len(), 2);
+        // Disabled machines record nothing.
+        let mut off = Machine::new(MachineConfig::default());
+        off.obs_record(ObsKind::Commit, 1);
+        assert_eq!(off.obs().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Deterministic observability: virtual-time event tracing and latency
+//! histograms.
+//!
+//! Everything in this module sits *outside* the simulated machine: recording
+//! an event or a latency sample never advances the virtual clock, touches the
+//! cache model, or charges cycles. With [`ObsConfig::disabled`] (the default)
+//! the ring buffer holds no storage and every `record` call is a branch on a
+//! cold bool — the simulated results are bit-identical whether tracing is on
+//! or off.
+//!
+//! Determinism contract: events are stamped with the machine's virtual clock
+//! (max per-core cycle count) and the owning worker index, and each shard owns
+//! its ring exclusively. Ring contents and histogram counts are therefore
+//! bit-identical across threaded/sequential/repeated runs for a fixed seed.
+//!
+//! The ring buffer is pre-filled to capacity at construction and written with
+//! index arithmetic — the warm path never allocates, preserving the hot-path
+//! allocation budget (`tests/hot_path_allocs.rs`).
+
+/// Knobs for the observability layer.
+///
+/// Carried on [`crate::config::MachineConfig`]; default-off. `worker` is the
+/// shard index stamped on every event — `shard_slice_for` sets it when
+/// slicing a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. When false the ring allocates nothing and records
+    /// nothing.
+    pub enabled: bool,
+    /// Ring capacity in events. Oldest events are overwritten once full.
+    pub ring_capacity: usize,
+    /// How many trailing events the crash flight recorder drains into a
+    /// storm report when a fault trips.
+    pub flight_tail: usize,
+    /// Worker (shard) index stamped on every event recorded by this machine.
+    pub worker: u32,
+}
+
+impl ObsConfig {
+    /// Observability off: no storage, no recording, zero deviation.
+    pub const fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ring_capacity: 4096,
+            flight_tail: 32,
+            worker: 0,
+        }
+    }
+
+    /// Observability on with the default ring sizing.
+    pub const fn tracing() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::disabled()
+        }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::disabled()
+    }
+}
+
+/// What happened, from the tracer's point of view.
+///
+/// Txn lifecycle events are recorded by the engines; interconnect events by
+/// `Machine::apply_epoch_charge`; faults by `Machine::fault_point`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsKind {
+    /// A transaction opened (`arg` = tid).
+    #[default]
+    TxnBegin,
+    /// A transactional load (`arg` = virtual address).
+    ReadSpan,
+    /// A transactional store (`arg` = virtual address).
+    WriteSpan,
+    /// Commit entered its validation/persist phase (`arg` = tid).
+    Validate,
+    /// Commit completed (`arg` = tid).
+    Commit,
+    /// A transaction aborted (`arg` = tid).
+    Abort,
+    /// An injected fault tripped (`arg` = fault-site code).
+    Fault,
+    /// Recovery replay started (`arg` = 0).
+    RecoveryReplay,
+    /// An interconnect epoch merge charged this shard (`arg` = delay cycles).
+    EpochMerge,
+    /// Bank arbitration granted accesses this epoch (`arg` = grants).
+    BankGrant,
+    /// Bank arbitration deferred this shard (`arg` = port-stall cycles).
+    BankDefer,
+    /// Shared-LLC capacity shortfall (`arg` = extra misses).
+    LlcShortfall,
+    /// Cross-shard coherence invalidations (`arg` = invalidation count).
+    CohInvalidate,
+}
+
+/// One traced event: virtual-time stamp, owning worker, kind, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsEvent {
+    /// Virtual cycle (max per-core cycle count) at record time.
+    pub at: u64,
+    /// Worker (shard) index from [`ObsConfig::worker`].
+    pub worker: u32,
+    /// Event kind.
+    pub kind: ObsKind,
+    /// Kind-specific payload (tid, address, cycles, ...).
+    pub arg: u64,
+}
+
+/// Per-shard, allocation-free event ring.
+///
+/// Owned exclusively by one `Machine` (one shard); never shared across
+/// threads. Pre-filled to capacity at construction so warm recording is a
+/// store + index increment. Oldest events are overwritten once full.
+#[derive(Debug, Clone)]
+pub struct ObsRing {
+    enabled: bool,
+    worker: u32,
+    buf: Vec<ObsEvent>,
+    head: usize,
+    len: usize,
+    recorded: u64,
+}
+
+impl ObsRing {
+    /// Build a ring from the config. Disabled rings allocate nothing.
+    pub fn new(cfg: &ObsConfig) -> Self {
+        let buf = if cfg.enabled {
+            vec![ObsEvent::default(); cfg.ring_capacity.max(1)]
+        } else {
+            Vec::new()
+        };
+        ObsRing {
+            enabled: cfg.enabled,
+            worker: cfg.worker,
+            buf,
+            head: 0,
+            len: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Worker index stamped on events recorded here.
+    #[inline]
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Record one event at virtual time `at`. No-op when disabled; never
+    /// allocates when enabled (the buffer is pre-sized).
+    #[inline]
+    pub fn record(&mut self, at: u64, kind: ObsKind, arg: u64) {
+        if !self.enabled {
+            return;
+        }
+        let cap = self.buf.len();
+        let slot = (self.head + self.len) % cap;
+        self.buf[slot] = ObsEvent {
+            at,
+            worker: self.worker,
+            kind,
+            arg,
+        };
+        if self.len < cap {
+            self.len += 1;
+        } else {
+            self.head = (self.head + 1) % cap;
+        }
+        self.recorded += 1;
+    }
+
+    /// Events currently held (≤ capacity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    #[inline]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Iterate held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &ObsEvent> + '_ {
+        let cap = self.buf.len().max(1);
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % cap])
+    }
+
+    /// The last `n` events, oldest-first — the crash flight-recorder tail.
+    pub fn tail(&self, n: usize) -> Vec<ObsEvent> {
+        let take = n.min(self.len);
+        let cap = self.buf.len().max(1);
+        (0..take)
+            .map(|i| self.buf[(self.head + self.len - take + i) % cap])
+            .collect()
+    }
+
+    /// Drop all held events (capacity and the recorded total are kept).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// Number of log2 buckets in a [`LatencyHistogram`].
+pub const HIST_BUCKETS: usize = 64;
+
+/// Fixed-bucket log2 latency histogram with exact `u64` counts.
+///
+/// Bucket 0 counts zero-cycle samples; bucket `i ≥ 1` counts samples in
+/// `[2^(i-1), 2^i)`. Exact integer counts make `merge` associative and
+/// commutative, so threaded == sequential == repeated runs stay
+/// bit-identical regardless of merge order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all samples (cycles).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Bucket index for a sample value.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of a bucket (used for percentile readout).
+    #[inline]
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Element-wise merge; associative and commutative.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Approximate percentile: the upper bound of the bucket holding the
+    /// rank-`ceil(count·pct/100)` sample, capped at the exact max. Exact
+    /// integer arithmetic — deterministic across platforms.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * pct).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Zero all counts.
+    pub fn reset(&mut self) {
+        *self = LatencyHistogram::default();
+    }
+}
+
+/// Per-run latency histograms: whole transactions plus per-phase splits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Cycles per whole transaction (begin → commit return).
+    pub txn: LatencyHistogram,
+    /// Cycles spent in `begin`.
+    pub begin: LatencyHistogram,
+    /// Cycles spent executing the body (loads/stores).
+    pub exec: LatencyHistogram,
+    /// Cycles spent in `commit`.
+    pub commit: LatencyHistogram,
+}
+
+impl LatencyStats {
+    /// Merge another run's histograms into this one (associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.txn.merge(&other.txn);
+        self.begin.merge(&other.begin);
+        self.exec.merge(&other.exec);
+        self.commit.merge(&other.commit);
+    }
+
+    /// Zero all histograms.
+    pub fn reset(&mut self) {
+        self.txn.reset();
+        self.begin.reset();
+        self.exec.reset();
+        self.commit.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_holds_nothing_and_allocates_nothing() {
+        let mut r = ObsRing::new(&ObsConfig::disabled());
+        assert!(!r.enabled());
+        r.record(10, ObsKind::Commit, 1);
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.recorded(), 0);
+        assert_eq!(r.buf.capacity(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_overwriting_oldest() {
+        let cfg = ObsConfig {
+            ring_capacity: 4,
+            ..ObsConfig::tracing()
+        };
+        let mut r = ObsRing::new(&cfg);
+        for i in 0..6u64 {
+            r.record(i, ObsKind::Commit, i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 6);
+        let args: Vec<u64> = r.iter().map(|e| e.arg).collect();
+        assert_eq!(args, vec![2, 3, 4, 5]);
+        assert_eq!(
+            r.tail(2).iter().map(|e| e.arg).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // Asking for more tail than held returns everything held.
+        assert_eq!(r.tail(100).len(), 4);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        assert_eq!(LatencyHistogram::bucket_upper(0), 0);
+        assert_eq!(LatencyHistogram::bucket_upper(1), 1);
+        assert_eq!(LatencyHistogram::bucket_upper(2), 3);
+    }
+
+    #[test]
+    fn percentile_walks_cumulative_counts() {
+        let mut h = LatencyHistogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.percentile(100), 1000);
+        assert!(h.percentile(50) <= h.percentile(99));
+        // p50 of 5 samples is the 3rd-ranked sample's bucket (value 3 →
+        // bucket upper 3).
+        assert_eq!(h.percentile(50), 3);
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.percentile(50), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = LatencyHistogram::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 9]);
+        let b = mk(&[0, 2, 1 << 40]);
+        let c = mk(&[7, 7, 7, 12345]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+    }
+}

@@ -332,6 +332,60 @@ mod tests {
         assert_eq!(total.diff(&base), delta);
     }
 
+    /// Reflection-style completeness check: every 8-byte word of
+    /// `MachineStats` must round-trip through `merge` + `diff`. The PR-7
+    /// llc/coh/bankq counters originally escaped diffing because nothing
+    /// enumerated "all fields"; this test does, structurally — adding a
+    /// `u64` counter without teaching `diff`/`merge` about it now fails
+    /// here with a nonzero word.
+    #[test]
+    fn merge_and_diff_cover_every_counter_word() {
+        // The struct must stay a flat bag of u64 words for the word-wise
+        // view below to be exhaustive. If this assert fires, a field of a
+        // different width (or padding) was added — rework this test along
+        // with diff/merge.
+        const WORDS: usize = 29; // 7 write classes + 22 counters
+        assert_eq!(
+            std::mem::size_of::<MachineStats>(),
+            WORDS * 8,
+            "MachineStats gained or lost a counter word; update WORDS and \
+             make sure diff()/merge() cover the new field"
+        );
+        assert_eq!(std::mem::align_of::<MachineStats>(), 8);
+
+        let words_of = |s: &MachineStats| -> Vec<u64> {
+            let p = s as *const MachineStats as *const u64;
+            (0..WORDS).map(|i| unsafe { p.add(i).read() }).collect()
+        };
+        // A delta with a distinct nonzero value in every word.
+        let mut delta = MachineStats::new();
+        {
+            let p = &mut delta as *mut MachineStats as *mut u64;
+            for i in 0..WORDS {
+                unsafe { p.add(i).write(1000 + i as u64) };
+            }
+        }
+        let mut base = MachineStats::new();
+        {
+            let p = &mut base as *mut MachineStats as *mut u64;
+            for i in 0..WORDS {
+                unsafe { p.add(i).write(7 * i as u64 + 3) };
+            }
+        }
+        let mut total = base.clone();
+        total.merge(&delta);
+        // If merge skipped a word, total's word equals base's and the
+        // round-trip loses that word's (nonzero) delta; if diff skipped a
+        // word, the diff word is zero. Either way the word-wise compare
+        // fails and names the offending word index.
+        let round = total.diff(&base);
+        let got = words_of(&round);
+        let want = words_of(&delta);
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(g, w, "counter word {i} escaped merge()/diff()");
+        }
+    }
+
     #[test]
     fn display_is_nonempty() {
         let mut s = MachineStats::new();

@@ -49,6 +49,7 @@ use ssp_simulator::cache::CoreId;
 use ssp_simulator::config::MachineConfig;
 use ssp_simulator::interconnect::{EpochCharge, Interconnect, LlcEvent, MemEvent};
 use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::LatencyStats;
 use ssp_simulator::stats::{MachineStats, WriteClass};
 use ssp_txn::engine::{TxnEngine, TxnStats};
 
@@ -162,6 +163,9 @@ pub struct RunResult {
     pub stats: MachineStats,
     /// Transaction statistics for the measured phase.
     pub txn_stats: TxnStats,
+    /// Per-transaction and per-phase latency histograms of the measured
+    /// phase (cycles; merged across workers in worker-index order).
+    pub latency: LatencyStats,
 }
 
 impl RunResult {
@@ -199,6 +203,8 @@ pub struct ShardRun<E> {
     pub stats: MachineStats,
     /// Measured-phase transaction statistics of this shard.
     pub txn_stats: TxnStats,
+    /// Measured-phase latency histograms of this shard.
+    pub latency: LatencyStats,
 }
 
 /// Result of a [`run_parallel`] run: the deterministic merged measurements
@@ -372,6 +378,9 @@ struct Worker<E, W> {
     rng: SmallRng,
     txns: u64,
     warmup: u64,
+    /// Latency histograms; recorded by every transaction, reset at the
+    /// start of the measured phase so warm-up samples are excluded.
+    lat: LatencyStats,
 }
 
 impl<E: TxnEngine, W: Workload> Worker<E, W> {
@@ -382,14 +391,26 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
             rng: SmallRng::seed_from_u64(worker_seed(cfg.seed, w)),
             txns: worker_share(cfg.txns, cfg.threads, w),
             warmup: worker_share(cfg.warmup, cfg.threads, w),
+            lat: LatencyStats::default(),
         }
     }
 
     fn one_txn(&mut self) {
+        // The phase boundaries read the shard's (virtual) clock only —
+        // recording latency never touches the simulated state, so the
+        // histograms are exact and deterministic in every execution mode.
+        let c0 = self.engine.machine().cycles(SHARD_CORE);
         self.engine.begin(SHARD_CORE);
+        let c1 = self.engine.machine().cycles(SHARD_CORE);
         self.workload
             .run_txn(&mut self.engine, SHARD_CORE, &mut self.rng);
+        let c2 = self.engine.machine().cycles(SHARD_CORE);
         self.engine.commit(SHARD_CORE);
+        let c3 = self.engine.machine().cycles(SHARD_CORE);
+        self.lat.begin.record(c1 - c0);
+        self.lat.exec.record(c2 - c1);
+        self.lat.commit.record(c3 - c2);
+        self.lat.txn.record(c3 - c0);
     }
 
     /// Setup plus warm-up, then snapshot the measurement baselines.
@@ -482,12 +503,13 @@ impl<E: TxnEngine, W: Workload> Worker<E, W> {
         let elapsed_cycles = self.engine.machine().cycles(SHARD_CORE) - cycles_base;
         ShardRun {
             workload: self.workload.name(),
-            engine: self.engine,
             worker: w,
             txns: self.txns,
             elapsed_cycles,
             stats,
             txn_stats,
+            latency: self.lat,
+            engine: self.engine,
         }
     }
 }
@@ -582,6 +604,9 @@ impl<E: TxnEngine, W: Workload> WarmParallel<E, W> {
         let threads = workers.len();
         for (w, worker) in workers.iter_mut().enumerate() {
             worker.txns = worker_share(txns, threads, w);
+            // Warm-up transactions recorded latency samples; the measured
+            // phase starts from empty histograms.
+            worker.lat.reset();
         }
         // Every interconnect decision of the run — whether epochs run at
         // all, the epoch length, and the controller's banks and service
@@ -607,9 +632,11 @@ impl<E: TxnEngine, W: Workload> WarmParallel<E, W> {
 
         let mut stats = MachineStats::new();
         let mut txn_stats = TxnStats::default();
+        let mut latency = LatencyStats::default();
         for shard in &shards {
             stats.merge(&shard.stats);
             txn_stats.merge(&shard.txn_stats);
+            latency.merge(&shard.latency);
         }
         let elapsed = shards.iter().map(|s| s.elapsed_cycles).max().unwrap_or(0);
         let freq_hz = shards[0].engine.machine().config().freq_ghz * 1e9;
@@ -627,6 +654,7 @@ impl<E: TxnEngine, W: Workload> WarmParallel<E, W> {
             tps,
             stats,
             txn_stats,
+            latency,
         };
         ParallelRun {
             result,
@@ -882,11 +910,20 @@ fn single_measured<E: TxnEngine>(
     rng: &mut SmallRng,
     base: &SingleBase,
 ) -> RunResult {
+    let mut latency = LatencyStats::default();
     for i in 0..txns {
         let core = CoreId::new((i % threads as u64) as usize);
+        let c0 = engine.machine().cycles(core);
         engine.begin(core);
+        let c1 = engine.machine().cycles(core);
         workload.run_txn(engine, core, rng);
+        let c2 = engine.machine().cycles(core);
         engine.commit(core);
+        let c3 = engine.machine().cycles(core);
+        latency.begin.record(c1 - c0);
+        latency.exec.record(c2 - c1);
+        latency.commit.record(c3 - c2);
+        latency.txn.record(c3 - c0);
     }
 
     let stats = engine.machine().stats().diff(&base.stats);
@@ -911,6 +948,7 @@ fn single_measured<E: TxnEngine>(
         tps,
         stats,
         txn_stats,
+        latency,
     }
 }
 

@@ -53,6 +53,7 @@ use ssp_simulator::cache::CoreId;
 use ssp_simulator::fault::{CrashPoint, FaultSite};
 use ssp_simulator::interconnect::Interconnect;
 use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::ObsEvent;
 use ssp_txn::engine::{TxnEngine, TxnStats};
 use ssp_txn::history::Oracle;
 
@@ -151,6 +152,16 @@ pub struct StormShardReport {
     /// NVRAM fingerprint of the final durable state (taken at the final
     /// power-off, before the last recovery).
     pub fingerprint: u64,
+    /// Crash flight recorder: the last [`ObsConfig::flight_tail`] ring
+    /// events preceding the most recent power cut, drained at the cut
+    /// instant (before volatile state is discarded). Empty unless the
+    /// shard's [`ObsConfig`] enables the event ring. Events are stamped
+    /// with virtual time, so the tail is bit-identical across execution
+    /// modes and repeats.
+    ///
+    /// [`ObsConfig`]: ssp_simulator::obs::ObsConfig
+    /// [`ObsConfig::flight_tail`]: ssp_simulator::obs::ObsConfig::flight_tail
+    pub flight_tail: Vec<ObsEvent>,
 }
 
 impl StormShardReport {
@@ -165,6 +176,7 @@ impl StormShardReport {
         self.recovery_nvram_writes += o.recovery_nvram_writes;
         self.recovery_cycles_est += o.recovery_cycles_est;
         self.elapsed_cycles = self.elapsed_cycles.max(o.elapsed_cycles);
+        self.flight_tail.extend_from_slice(&o.flight_tail);
     }
 }
 
@@ -395,6 +407,13 @@ impl<E: TxnEngine, W: Workload> StormWorker<E, W> {
 
         self.report.elapsed_cycles += self.engine.machine().cycles(SHARD_CORE)
             - self.seg_base.min(self.engine.machine().cycles(SHARD_CORE));
+        // Flight recorder: drain the tail of the event ring at the cut
+        // instant. Replace-latest semantics — the report carries the tail
+        // of the *most recent* storm on this shard.
+        if self.engine.machine().obs().enabled() {
+            let n = self.engine.machine().config().obs.flight_tail;
+            self.report.flight_tail = self.engine.machine().obs().tail(n);
+        }
         self.engine.crash();
         if self.schedule.crash_during_recovery {
             self.engine.machine_mut().arm_crash(CrashPoint::AtSite {
@@ -820,6 +839,42 @@ mod tests {
         assert_eq!(t.torn_txns, 2);
         assert_eq!(t.kept_torn_txns, 0);
         assert_eq!(t.lost_txns, 0);
+    }
+
+    #[test]
+    fn flight_recorder_captures_tail_at_the_cut() {
+        use ssp_simulator::obs::{ObsConfig, ObsKind};
+        let schedule = StormSchedule::once_at(FaultSite::CommitData, 40);
+        let mk_engine = |w: usize| {
+            let mut mc = MachineConfig::default().shard_slice_for(2, w);
+            mc.obs = ObsConfig::tracing();
+            mc.obs.worker = w as u32;
+            Ssp::new(mc, SspConfig::default())
+        };
+        let mk_workload = |_| Sps::new(256, KeyDist::uniform(256));
+        let a = run_storm(
+            mk_engine,
+            mk_workload,
+            &small_cfg(ExecMode::Sequential, 2),
+            &schedule,
+        );
+        for s in &a.shards {
+            assert!(!s.flight_tail.is_empty(), "shard {} tail empty", s.worker);
+            assert!(
+                s.flight_tail.iter().any(|e| e.kind == ObsKind::Fault),
+                "shard {} tail lacks the fault event: {:?}",
+                s.worker,
+                s.flight_tail
+            );
+            assert!(s.flight_tail.iter().all(|e| e.worker == s.worker as u32));
+        }
+        let b = run_storm(
+            mk_engine,
+            mk_workload,
+            &small_cfg(ExecMode::Threaded, 2),
+            &schedule,
+        );
+        assert_eq!(a.shards, b.shards, "flight tails must be mode-invariant");
     }
 
     #[test]

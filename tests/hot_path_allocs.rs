@@ -19,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ssp::simulator::cache::CoreId;
 use ssp::simulator::config::MachineConfig;
+use ssp::simulator::obs::ObsConfig;
 use ssp::txn::engine::TxnEngine;
 use ssp::workloads::dist::KeyDist;
 use ssp::workloads::runner::Workload;
@@ -79,20 +80,16 @@ fn measured_allocs(engine: &mut dyn TxnEngine, workload: &mut Sps, rng: &mut Sma
     ALLOCS.load(Ordering::SeqCst) - before
 }
 
-#[test]
-fn warm_transaction_loop_is_allocation_free_for_every_engine() {
-    let engines: [(&str, Box<dyn TxnEngine>); 4] = [
-        (
-            "SSP",
-            Box::new(Ssp::new(MachineConfig::default(), SspConfig::default())),
-        ),
-        ("UNDO-LOG", Box::new(UndoLog::new(MachineConfig::default()))),
-        ("REDO-LOG", Box::new(RedoLog::new(MachineConfig::default()))),
-        (
-            "SHADOW",
-            Box::new(ShadowPaging::new(MachineConfig::default())),
-        ),
-    ];
+fn engines_with(cfg: fn() -> MachineConfig) -> [(&'static str, Box<dyn TxnEngine>); 4] {
+    [
+        ("SSP", Box::new(Ssp::new(cfg(), SspConfig::default()))),
+        ("UNDO-LOG", Box::new(UndoLog::new(cfg()))),
+        ("REDO-LOG", Box::new(RedoLog::new(cfg()))),
+        ("SHADOW", Box::new(ShadowPaging::new(cfg()))),
+    ]
+}
+
+fn assert_warm_budget(label: &str, engines: [(&'static str, Box<dyn TxnEngine>); 4]) {
     for (name, mut engine) in engines {
         let mut workload = Sps::new(1024, KeyDist::uniform(1024));
         workload.setup(engine.as_mut(), C0);
@@ -100,8 +97,28 @@ fn warm_transaction_loop_is_allocation_free_for_every_engine() {
         let allocs = measured_allocs(engine.as_mut(), &mut workload, &mut rng);
         assert!(
             allocs <= ALLOWED_ALLOCS,
-            "{name}: {allocs} heap allocations across {MEASURED_TXNS} warm transactions \
-             (allowed {ALLOWED_ALLOCS} total) — something on the hot path allocates again"
+            "{name} ({label}): {allocs} heap allocations across {MEASURED_TXNS} warm \
+             transactions (allowed {ALLOWED_ALLOCS} total) — something on the hot path \
+             allocates again"
         );
     }
+}
+
+#[test]
+fn warm_transaction_loop_is_allocation_free_for_every_engine() {
+    // Tracing off (the default): the observability layer must not add a
+    // single allocation — the ring holds no storage and every record call
+    // is a branch on a cold bool.
+    assert_warm_budget("tracing off", engines_with(MachineConfig::default));
+
+    // Tracing fully on: the event ring is pre-sized at machine
+    // construction and overwritten in place, so the warm loop stays
+    // within the same budget — zero allocations per transaction.
+    fn traced() -> MachineConfig {
+        MachineConfig {
+            obs: ObsConfig::tracing(),
+            ..MachineConfig::default()
+        }
+    }
+    assert_warm_budget("tracing on", engines_with(traced));
 }

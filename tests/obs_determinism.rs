@@ -1,0 +1,254 @@
+//! The observability layer must not perturb the determinism contract —
+//! and must itself be deterministic. With the event ring fully enabled,
+//! a threaded run must be bit-identical to the sequential reference and
+//! to itself across repeats, for every engine: merged counters, latency
+//! histograms, per-shard ring contents, and the committed NVRAM state.
+//!
+//! The ring stamps events with the *virtual* clock, so nothing about the
+//! host schedule can leak into it; this test is the net under that claim.
+
+use ssp::simulator::config::{InterconnectConfig, MachineConfig};
+use ssp::simulator::obs::{LatencyHistogram, ObsConfig, ObsEvent};
+use ssp::txn::engine::TxnEngine;
+use ssp::workloads::dist::KeyDist;
+use ssp::workloads::runner::{run_parallel, ExecMode, ParallelRun, RunConfig};
+use ssp::workloads::sps::Sps;
+use ssp::{RedoLog, ShadowPaging, Ssp, SspConfig, UndoLog};
+
+const THREADS: usize = 4;
+const REPEATS: usize = 5;
+
+fn run_cfg(mode: ExecMode) -> RunConfig {
+    RunConfig {
+        txns: 240,
+        warmup: 40,
+        threads: THREADS,
+        seed: 0x0B5E_2019,
+        mode,
+    }
+}
+
+/// Shard config for worker `w` with the ring fully on. `shard_slice_for`
+/// stamps `obs.worker`; replacing the whole `obs` afterwards means the
+/// stamp must be re-applied — a subtle trap this helper centralizes.
+fn traced_shard(base: &MachineConfig, w: usize) -> MachineConfig {
+    let mut mc = base.shard_slice_for(THREADS, w);
+    mc.obs = ObsConfig::tracing();
+    mc.obs.worker = w as u32;
+    mc
+}
+
+/// Everything the contract covers, harvested from one run: the merged
+/// result (counters + latency histograms), per-shard counters, per-shard
+/// ring contents (events *and* the total-recorded overwrite counter), and
+/// the committed persistent state. Ring harvest happens before the
+/// crash/recover fingerprinting so the snapshot is "at end of run".
+#[derive(Debug, PartialEq)]
+struct Observed {
+    result: ssp::workloads::runner::RunResult,
+    shard_cycles: Vec<u64>,
+    rings: Vec<(u64, Vec<ObsEvent>)>,
+    fingerprints: Vec<u64>,
+}
+
+fn observe<E: TxnEngine>(mut run: ParallelRun<E>) -> Observed {
+    let rings = run
+        .shards
+        .iter()
+        .map(|s| {
+            let ring = s.engine.machine().obs();
+            assert!(ring.enabled(), "ring must be on in this test");
+            assert!(!ring.is_empty(), "an enabled ring must capture events");
+            (ring.recorded(), ring.iter().copied().collect())
+        })
+        .collect();
+    let shard_cycles = run.shards.iter().map(|s| s.elapsed_cycles).collect();
+    let fingerprints = run
+        .shards
+        .iter_mut()
+        .map(|s| {
+            s.engine.crash_and_recover();
+            s.engine.machine().nvram_fingerprint()
+        })
+        .collect();
+    Observed {
+        result: run.result,
+        shard_cycles,
+        rings,
+        fingerprints,
+    }
+}
+
+fn traced_run<E: TxnEngine>(
+    mk: &(impl Fn(MachineConfig) -> E + Sync),
+    base: &MachineConfig,
+    mode: ExecMode,
+) -> Observed {
+    observe(run_parallel(
+        |w| mk(traced_shard(base, w)),
+        |_| Sps::new(1024, KeyDist::uniform(1024)),
+        &run_cfg(mode),
+    ))
+}
+
+/// Threaded == sequential == 5 threaded repeats, with tracing fully on.
+fn assert_traced_equivalence<E: TxnEngine>(
+    name: &str,
+    base: &MachineConfig,
+    mk: impl Fn(MachineConfig) -> E + Sync,
+) {
+    let reference = traced_run(&mk, base, ExecMode::Sequential);
+    assert!(
+        reference.result.latency.txn.count > 0,
+        "{name}: latency histograms must cover the measured phase"
+    );
+    for rep in 0..REPEATS {
+        let threaded = traced_run(&mk, base, ExecMode::Threaded);
+        assert_eq!(
+            threaded, reference,
+            "{name}: traced threaded run diverged from the sequential \
+             reference (rep {rep})"
+        );
+    }
+}
+
+#[test]
+fn ssp_traced_threaded_equals_sequential_and_repeats() {
+    let base = MachineConfig::default();
+    assert_traced_equivalence("SSP", &base, |cfg| Ssp::new(cfg, SspConfig::default()));
+}
+
+#[test]
+fn undo_traced_threaded_equals_sequential_and_repeats() {
+    let base = MachineConfig::default();
+    assert_traced_equivalence("UNDO-LOG", &base, UndoLog::new);
+}
+
+#[test]
+fn redo_traced_threaded_equals_sequential_and_repeats() {
+    let base = MachineConfig::default();
+    assert_traced_equivalence("REDO-LOG", &base, RedoLog::new);
+}
+
+#[test]
+fn shadow_traced_threaded_equals_sequential_and_repeats() {
+    let base = MachineConfig::default();
+    assert_traced_equivalence("SHADOW", &base, ShadowPaging::new);
+}
+
+/// The same contract under the shared memory hierarchy: epoch merges
+/// record interconnect events (grants, deferrals, LLC shortfalls) into
+/// the rings from the *leader's* merge pass, which is the most likely
+/// place for host-schedule order to leak in.
+#[test]
+fn ssp_traced_with_interconnect_equals_sequential_and_repeats() {
+    let base = MachineConfig {
+        interconnect: InterconnectConfig::shared_hierarchy(),
+        ..MachineConfig::default()
+    };
+    assert_traced_equivalence("SSP+interconnect", &base, |cfg| {
+        Ssp::new(cfg, SspConfig::default())
+    });
+}
+
+/// Tracing on vs. off must not change a single simulated counter or the
+/// committed state — observation is free in virtual time.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let mk_plain = |w: usize| {
+        Ssp::new(
+            MachineConfig::default().shard_slice_for(THREADS, w),
+            SspConfig::default(),
+        )
+    };
+    let mk_traced = |w: usize| {
+        Ssp::new(
+            traced_shard(&MachineConfig::default(), w),
+            SspConfig::default(),
+        )
+    };
+    let wl = |_w: usize| Sps::new(1024, KeyDist::uniform(1024));
+    let cfg = run_cfg(ExecMode::Threaded);
+    let mut plain = run_parallel(mk_plain, wl, &cfg);
+    let mut traced = run_parallel(mk_traced, wl, &cfg);
+    assert_eq!(plain.result, traced.result);
+    for (p, t) in plain.shards.iter_mut().zip(traced.shards.iter_mut()) {
+        assert_eq!(p.stats, t.stats, "shard {} counters", p.worker);
+        assert!(
+            p.engine.machine().obs().is_empty(),
+            "plain ring stays empty"
+        );
+        p.engine.crash_and_recover();
+        t.engine.crash_and_recover();
+        assert_eq!(
+            p.engine.machine().nvram_fingerprint(),
+            t.engine.machine().nvram_fingerprint(),
+            "shard {} committed state",
+            p.worker
+        );
+    }
+}
+
+/// Histogram merge is associative and commutative, and matches recording
+/// the union directly — the property the worker-index-order merge in
+/// `run_parallel` (and any future tree-shaped merge) relies on.
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    // Three deterministic pseudo-random streams (xorshift; no external
+    // RNG needed) with very different magnitudes per stream.
+    let stream = |seed: u64, scale: u64| {
+        let mut x = seed;
+        (0..500u64)
+            .map(move |_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % scale
+            })
+            .collect::<Vec<u64>>()
+    };
+    let streams = [
+        stream(0x1, 1 << 8),
+        stream(0x2, 1 << 20),
+        stream(0x3, 1 << 44),
+    ];
+    let hist_of = |vals: &[u64]| {
+        let mut h = LatencyHistogram::default();
+        for &v in vals {
+            h.record(v);
+        }
+        h
+    };
+    let [a, b, c] = [
+        hist_of(&streams[0]),
+        hist_of(&streams[1]),
+        hist_of(&streams[2]),
+    ];
+
+    // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+    let mut ab_c = a.clone();
+    ab_c.merge(&b);
+    ab_c.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    assert_eq!(ab_c, a_bc, "merge must be associative");
+
+    // a ∪ b == b ∪ a
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge must be commutative");
+
+    // Union of merges == histogram of the concatenated stream.
+    let all: Vec<u64> = streams.iter().flatten().copied().collect();
+    assert_eq!(ab_c, hist_of(&all), "merge must equal direct recording");
+
+    // Percentiles stay within the recorded range and are monotone.
+    assert!(ab_c.percentile(50) <= ab_c.percentile(95));
+    assert!(ab_c.percentile(95) <= ab_c.percentile(99));
+    assert!(ab_c.percentile(99) <= ab_c.max);
+    assert_eq!(ab_c.count, 1500);
+}
