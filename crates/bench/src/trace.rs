@@ -45,6 +45,9 @@ pub fn kind_name(kind: ObsKind) -> &'static str {
         ObsKind::BankDefer => "bank_defer",
         ObsKind::LlcShortfall => "llc_shortfall",
         ObsKind::CohInvalidate => "coh_invalidate",
+        ObsKind::OccValidate => "occ_validate",
+        ObsKind::OccAbort => "occ_abort",
+        ObsKind::OccRetry => "occ_retry",
     }
 }
 

@@ -95,6 +95,15 @@ pub enum ObsKind {
     LlcShortfall,
     /// Cross-shard coherence invalidations (`arg` = invalidation count).
     CohInvalidate,
+    /// Shared-heap OCC: a commit intent validated and its writes were
+    /// published (`arg` = the intent's global commit sequence).
+    OccValidate,
+    /// Shared-heap OCC: a commit intent lost validation (`arg` = its
+    /// attempt count so far).
+    OccAbort,
+    /// Shared-heap OCC: an aborted transaction re-runs after backoff
+    /// (`arg` = backoff cycles charged).
+    OccRetry,
 }
 
 /// One traced event: virtual-time stamp, owning worker, kind, payload.

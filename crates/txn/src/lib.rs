@@ -12,16 +12,21 @@
 //!   transactionally, so allocations roll back with their transaction.
 //! * [`view`] — typed field accessors for hand-laid-out persistent nodes.
 //! * [`history`] — the byte-level oracle used by crash-consistency tests.
+//! * [`occ`] — optimistic concurrency over one shared versioned heap:
+//!   CoW page versions, speculative read/write sets, commit intents, and
+//!   the deterministic first-committer-wins epoch validator.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod heap;
 pub mod history;
+pub mod occ;
 pub mod view;
 pub mod vm;
 
 pub use engine::{TxnEngine, TxnId, TxnStats, WriteSetTracker};
 pub use heap::PersistentHeap;
 pub use history::Oracle;
+pub use occ::{BackoffPolicy, CommitIntent, SpecTxn, Verdict, VersionedHeap};
 pub use vm::{NvLayout, VmManager, HEAP_BASE_VPN};

@@ -1,0 +1,257 @@
+//! The conflict-dial workload for the shared-heap driver: SPS swaps
+//! over one array whose *shared fraction* every worker contends on.
+//!
+//! Layout of the persistent array (8-byte elements):
+//!
+//! ```text
+//! [ shared region | worker 0 private | worker 1 private | ... ]
+//! ```
+//!
+//! Every transaction flips a biased coin: with probability
+//! `conflict_frac` it swaps two elements of the shared region (keys
+//! drawn from the configured [`KeyDist`], so Zipf skew concentrates the
+//! contention), otherwise it swaps two elements of its own private
+//! slice. Dialing `conflict_frac` from 0 to 1 therefore sweeps the run
+//! from perfectly partitioned (zero OCC aborts, by construction) to
+//! all-shared.
+//!
+//! Both region sizes are rounded up to multiples of 8 elements
+//! (= one 64-byte line), so private slices are line-disjoint across
+//! workers and a dial of 0 can never produce a false line conflict.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use ssp_simulator::addr::{VirtAddr, PAGE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_txn::engine::TxnEngine;
+use ssp_txn::view;
+
+use crate::dist::KeyDist;
+use crate::runner::Workload;
+
+/// Elements per cache line (8-byte elements, 64-byte lines).
+const ELEMS_PER_LINE: u64 = 8;
+
+fn round_to_line(n: u64) -> u64 {
+    n.div_ceil(ELEMS_PER_LINE) * ELEMS_PER_LINE
+}
+
+/// SPS swaps with a conflict dial, for [`run_shared`](crate::shared::run_shared).
+#[derive(Debug, Clone)]
+pub struct ConflictSps {
+    shared_n: u64,
+    private_n: u64,
+    workers: u64,
+    worker: u64,
+    conflict_frac: f64,
+    dist: KeyDist,
+    base: Option<VirtAddr>,
+}
+
+impl ConflictSps {
+    /// Creates the workload for one worker.
+    ///
+    /// * `shared_n` / `private_n` — elements in the shared region and in
+    ///   *each* worker's private slice (both rounded up to a full line).
+    /// * `workers` / `worker` — fleet size and this instance's index.
+    /// * `conflict_frac` — probability a transaction targets the shared
+    ///   region (the conflict dial, `0.0..=1.0`).
+    /// * `dist` — key distribution over the shared region (pass
+    ///   [`KeyDist::uniform`] or a Zipf/hot-spot skew; must cover
+    ///   `round_to_line(shared_n)` keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero, `worker >= workers`, the dial is
+    /// outside `[0, 1]`, or `dist` does not cover the (rounded) shared
+    /// region.
+    pub fn new(
+        shared_n: u64,
+        private_n: u64,
+        workers: usize,
+        worker: usize,
+        conflict_frac: f64,
+        dist: KeyDist,
+    ) -> Self {
+        let shared_n = round_to_line(shared_n);
+        let private_n = round_to_line(private_n);
+        assert!(shared_n > 0 && private_n > 0, "regions must be nonempty");
+        assert!(worker < workers, "worker index out of range");
+        assert!(
+            (0.0..=1.0).contains(&conflict_frac),
+            "conflict dial must be in [0, 1]"
+        );
+        assert_eq!(
+            dist.n(),
+            shared_n,
+            "distribution must cover the rounded shared region"
+        );
+        Self {
+            shared_n,
+            private_n,
+            workers: workers as u64,
+            worker: worker as u64,
+            conflict_frac,
+            dist,
+            base: None,
+        }
+    }
+
+    /// Convenience: uniform keys over the shared region.
+    pub fn uniform(
+        shared_n: u64,
+        private_n: u64,
+        workers: usize,
+        worker: usize,
+        conflict_frac: f64,
+    ) -> Self {
+        Self::new(
+            shared_n,
+            private_n,
+            workers,
+            worker,
+            conflict_frac,
+            KeyDist::uniform(round_to_line(shared_n)),
+        )
+    }
+
+    /// Total array length in elements.
+    pub fn total(&self) -> u64 {
+        self.shared_n + self.private_n * self.workers
+    }
+
+    fn slot(&self, i: u64) -> VirtAddr {
+        self.base.expect("setup ran").add(i * 8)
+    }
+
+    /// Reads element `i` (for verification).
+    pub fn get(&self, engine: &mut dyn TxnEngine, core: CoreId, i: u64) -> u64 {
+        view::read_u64(engine, core, self.slot(i))
+    }
+}
+
+impl Workload for ConflictSps {
+    fn name(&self) -> &'static str {
+        "ConflictSPS"
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.base = None;
+    }
+
+    fn setup(&mut self, engine: &mut dyn TxnEngine, core: CoreId) {
+        // Every worker maps and initialises the WHOLE array identically:
+        // the shared-heap driver requires byte-identical setups (any
+        // worker's capture seeds the canonical heap).
+        let total = self.total();
+        let pages = (total * 8).div_ceil(PAGE_SIZE as u64);
+        let first = engine.map_new_page(core);
+        for _ in 1..pages {
+            engine.map_new_page(core);
+        }
+        self.base = Some(first.base());
+        let per_txn = PAGE_SIZE as u64 / 8;
+        let mut i = 0;
+        while i < total {
+            engine.begin(core);
+            let end = (i + per_txn).min(total);
+            for j in i..end {
+                view::write_u64(engine, core, self.slot(j), j);
+            }
+            engine.commit(core);
+            i = end;
+        }
+    }
+
+    fn run_txn(&mut self, engine: &mut dyn TxnEngine, core: CoreId, rng: &mut SmallRng) {
+        let hot = self.conflict_frac > 0.0 && rng.gen_bool(self.conflict_frac);
+        let (a, b) = if hot {
+            let a = self.dist.sample(rng);
+            let mut b = self.dist.sample(rng);
+            if b == a {
+                b = (a + 1) % self.shared_n;
+            }
+            (a, b)
+        } else {
+            let lo = self.shared_n + self.worker * self.private_n;
+            let a = lo + rng.gen_range(0..self.private_n);
+            let mut b = lo + rng.gen_range(0..self.private_n);
+            if b == a {
+                b = lo + (a - lo + 1) % self.private_n;
+            }
+            (a, b)
+        };
+        let va = view::read_u64(engine, core, self.slot(a));
+        let vb = view::read_u64(engine, core, self.slot(b));
+        view::write_u64(engine, core, self.slot(a), vb);
+        view::write_u64(engine, core, self.slot(b), va);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ssp_core::engine::Ssp;
+    use ssp_core::SspConfig;
+    use ssp_simulator::config::MachineConfig;
+
+    const C0: CoreId = CoreId::new(0);
+
+    #[test]
+    fn regions_are_line_disjoint() {
+        let w = ConflictSps::uniform(100, 100, 4, 2, 0.5);
+        // Rounded to 104 shared / 104 private.
+        assert_eq!(w.shared_n % ELEMS_PER_LINE, 0);
+        assert_eq!(w.private_n % ELEMS_PER_LINE, 0);
+        assert_eq!(w.total(), w.shared_n + 4 * w.private_n);
+    }
+
+    #[test]
+    fn dial_zero_stays_in_own_slice() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = ConflictSps::uniform(64, 64, 4, 1, 0.0);
+        w.setup(&mut e, C0);
+        let lo = w.shared_n + w.private_n;
+        let hi = lo + w.private_n;
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        // Everything outside worker 1's slice is untouched (still == index).
+        for i in 0..w.total() {
+            if !(lo..hi).contains(&i) {
+                assert_eq!(w.get(&mut e, C0, i), i, "element {i} moved");
+            }
+        }
+        // The slice itself is a permutation.
+        let mut seen: Vec<u64> = (lo..hi).map(|i| w.get(&mut e, C0, i)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (lo..hi).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dial_one_stays_in_shared_region() {
+        let mut e = Ssp::new(MachineConfig::default(), SspConfig::default());
+        let mut w = ConflictSps::uniform(64, 64, 2, 0, 1.0);
+        w.setup(&mut e, C0);
+        let mut rng = SmallRng::seed_from_u64(10);
+        for _ in 0..50 {
+            e.begin(C0);
+            w.run_txn(&mut e, C0, &mut rng);
+            e.commit(C0);
+        }
+        for i in w.shared_n..w.total() {
+            assert_eq!(w.get(&mut e, C0, i), i, "private element {i} moved");
+        }
+        let mut seen: Vec<u64> = (0..w.shared_n).map(|i| w.get(&mut e, C0, i)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..w.shared_n).collect::<Vec<u64>>());
+    }
+}

@@ -16,26 +16,38 @@
 //! * [`storm`] — the crash-storm driver: scheduled power cuts under full
 //!   traffic, oracle-verified recovery after every storm, identical in
 //!   both execution modes
+//! * [`shared`] — the shared-heap driver: N clients against ONE
+//!   versioned store, optimistic concurrency with deterministic
+//!   epoch-boundary conflict resolution ([`shared::run_shared`])
+//! * [`conflict`] — the conflict-dial workload ([`conflict::ConflictSps`]):
+//!   SPS swaps over a shared region + per-worker private slices
 
 #![warn(missing_docs)]
 
 pub mod btree;
+pub mod conflict;
 pub mod dist;
 pub mod hash;
 pub mod kvcache;
 pub mod rbtree;
 pub mod runner;
+pub mod shared;
 pub mod sps;
 pub mod storm;
 pub mod vacation;
 
 pub use btree::{BTree, BTreeWorkload};
+pub use conflict::ConflictSps;
 pub use dist::KeyDist;
 pub use hash::{HashTable, HashWorkload};
 pub use kvcache::{KvCache, MemcachedWorkload};
 pub use rbtree::{RbTree, RbTreeWorkload};
 pub use runner::{
     run, run_parallel, ExecMode, ParallelRun, RunConfig, RunResult, ShardRun, Workload,
+};
+pub use shared::{
+    run_shared, run_shared_crash_probe, SharedCrashReport, SharedHeapConfig, SharedRun,
+    SharedShardRun, SharedStats,
 };
 pub use sps::Sps;
 pub use storm::{

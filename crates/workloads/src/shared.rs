@@ -1,0 +1,1058 @@
+//! The shared-heap driver: N clients, **one** versioned store, real
+//! conflicts — resolved deterministically.
+//!
+//! [`run_parallel`](crate::runner::run_parallel) gives every worker a
+//! disjoint key partition, so its transactions never conflict. This
+//! driver instead runs every worker's transactions against one logical
+//! [`VersionedHeap`] with optimistic concurrency control:
+//!
+//! 1. **Speculate.** Between epoch boundaries each worker runs its
+//!    transactions against an immutable heap *snapshot* (Arc-shared
+//!    copy-on-write pages pin the epoch version). Loads go through the
+//!    worker's own engine first — paying honest cache/memory timing on
+//!    its machine shard — and the returned bytes are then overridden
+//!    from (write buffer → own epoch overlay → heap snapshot). Stores
+//!    are buffered; nothing touches shared state mid-epoch.
+//! 2. **Validate.** At the epoch boundary every worker deposits its
+//!    [`CommitIntent`]s (read/write line sets, buffered bytes, the local
+//!    virtual time each transaction finished at). One barrier leader
+//!    orders all intents by (time, worker index, submission index) and
+//!    validates them first-committer-wins against the published line
+//!    versions ([`ssp_txn::occ::validate_epoch`]); winners' writes are
+//!    published into the next heap version. The computation is a pure
+//!    function of the deposited streams, so threaded and sequential
+//!    execution resolve bit-identically.
+//! 3. **Publish / retry.** Each worker then *replays* its winning
+//!    transactions as real engine transactions on its own shard
+//!    (begin, sorted line stores, commit) — commit-time page
+//!    publication pays the engine's genuine persistence cost and lands
+//!    in the shard's NVRAM, so fingerprints stay deterministic. Losers
+//!    are re-executed in the next epoch from their saved RNG state,
+//!    after a deterministic bounded-exponential backoff is charged to
+//!    the worker's clock.
+//!
+//! When the machine config enables the interconnect, the same barrier
+//! also carries the memory-event streams and the epoch merge charges
+//! bank/LLC/coherence contention exactly like
+//! [`run_parallel`](crate::runner::run_parallel) — commit intents ride
+//! the existing epoch machinery.
+//!
+//! # Requirements on workloads
+//!
+//! * `setup` must be identical for every worker (it seeds the shared
+//!   heap once and warms every local shard the same way); all pages are
+//!   mapped in `setup` — `map_new_page` is not available mid-run.
+//! * `run_txn` must be *replayable*: a pure function of (engine reads,
+//!   RNG). The driver re-runs aborted transactions from a saved RNG
+//!   snapshot.
+//!
+//! [`ConflictSps`](crate::conflict::ConflictSps) is the canonical
+//! conflict-dial workload for this driver.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fxhash::FxHashMap;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ssp_simulator::addr::{VirtAddr, Vpn, LINE_SIZE};
+use ssp_simulator::cache::CoreId;
+use ssp_simulator::config::MachineConfig;
+use ssp_simulator::fault::{CrashPoint, FaultSite};
+use ssp_simulator::interconnect::{EpochCharge, Interconnect, LlcEvent, MemEvent};
+use ssp_simulator::machine::Machine;
+use ssp_simulator::obs::{LatencyStats, ObsKind};
+use ssp_simulator::stats::MachineStats;
+use ssp_txn::engine::{line_spans, TxnEngine, TxnStats};
+use ssp_txn::occ::{
+    validate_epoch, BackoffPolicy, CommitIntent, LineWrite, SpecTxn, Verdict, VersionedHeap,
+};
+
+use crate::runner::{
+    worker_seed, worker_share, ExecMode, PoisonBarrier, PoisonOnPanic, RunConfig, RunResult,
+    Workload, SHARD_CORE,
+};
+use crate::storm::OracleEngine;
+
+/// Knobs of the shared-heap mode (the conflict *rate* is a workload
+/// knob — see [`ConflictSps`](crate::conflict::ConflictSps)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedHeapConfig {
+    /// Epoch length in cycles when the interconnect is disabled (an
+    /// enabled interconnect's `epoch_cycles` takes precedence so commit
+    /// intents and memory streams share one boundary).
+    pub epoch_cycles: u64,
+    /// Deterministic backoff charged before each retry.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for SharedHeapConfig {
+    fn default() -> Self {
+        Self {
+            epoch_cycles: 50_000,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+/// OCC outcome counters of a shared-heap run (per shard, and merged in
+/// worker order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Commit intents submitted to validation.
+    pub validated: u64,
+    /// Intents that won and were published.
+    pub committed: u64,
+    /// Intents that lost (conflicts + cascades); each is retried.
+    pub aborted: u64,
+    /// Losses to a real published-line conflict.
+    pub conflicts: u64,
+    /// Losses cascaded from an earlier same-worker loss in the epoch.
+    pub cascades: u64,
+    /// Re-executions after an abort (equals `aborted` once a run
+    /// drains).
+    pub retries: u64,
+    /// Total backoff cycles charged to the shard clocks.
+    pub backoff_cycles: u64,
+    /// High-water attempt count any transaction needed (0 = first try).
+    pub max_attempt: u64,
+}
+
+impl SharedStats {
+    /// Folds another shard's counters in (worker-index order in the
+    /// drivers, so merged results are schedule-independent).
+    pub fn merge(&mut self, o: &SharedStats) {
+        self.validated += o.validated;
+        self.committed += o.committed;
+        self.aborted += o.aborted;
+        self.conflicts += o.conflicts;
+        self.cascades += o.cascades;
+        self.retries += o.retries;
+        self.backoff_cycles += o.backoff_cycles;
+        self.max_attempt = self.max_attempt.max(o.max_attempt);
+    }
+
+    /// Aborted fraction of all validated intents.
+    pub fn abort_rate(&self) -> f64 {
+        if self.validated == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / self.validated as f64
+        }
+    }
+}
+
+/// One worker's share of a shared-heap run.
+#[derive(Debug)]
+pub struct SharedShardRun<E> {
+    /// The worker's engine, for inspection (fingerprints, recovery).
+    pub engine: E,
+    /// Worker index.
+    pub worker: usize,
+    /// Measured transactions this worker committed.
+    pub txns: u64,
+    /// Measured-phase cycles on this worker's core.
+    pub elapsed_cycles: u64,
+    /// Measured-phase machine counters.
+    pub stats: MachineStats,
+    /// Measured-phase transaction statistics (OCC aborts folded into
+    /// `aborted`).
+    pub txn_stats: TxnStats,
+    /// Measured-phase latency histograms.
+    pub latency: LatencyStats,
+    /// Measured-phase OCC counters.
+    pub shared: SharedStats,
+}
+
+/// Result of a [`run_shared`] run.
+#[derive(Debug)]
+pub struct SharedRun<E> {
+    /// Merged measurements (deterministic across modes and repeats).
+    pub result: RunResult,
+    /// Merged OCC counters.
+    pub shared: SharedStats,
+    /// Per-worker results in worker-index order.
+    pub shards: Vec<SharedShardRun<E>>,
+    /// Host wall-clock of the measured phase (not deterministic).
+    pub host_elapsed: Duration,
+}
+
+impl<E> SharedRun<E> {
+    /// Measured transactions per host second.
+    pub fn host_tps(&self) -> f64 {
+        let secs = self.host_elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.result.txns as f64 / secs
+        }
+    }
+}
+
+/// Speculative engine view handed to `Workload::run_txn`: loads pay the
+/// local engine's timing, bytes resolve write-buffer → epoch overlay →
+/// heap snapshot, stores are buffered into the read/write sets.
+struct SpecView<'a, E> {
+    inner: &'a mut E,
+    heap: &'a VersionedHeap,
+    overlay: &'a FxHashMap<u64, LineWrite>,
+    txn: &'a mut SpecTxn,
+}
+
+impl<E: TxnEngine> TxnEngine for SpecView<'_, E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn machine(&self) -> &Machine {
+        self.inner.machine()
+    }
+    fn machine_mut(&mut self) -> &mut Machine {
+        self.inner.machine_mut()
+    }
+    fn map_new_page(&mut self, _core: CoreId) -> Vpn {
+        panic!("shared-heap workloads must map every page during setup");
+    }
+    fn begin(&mut self, _core: CoreId) {
+        panic!("the shared-heap driver manages transaction boundaries");
+    }
+    fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
+        // Honest timing through the local hierarchy; the *bytes* are then
+        // overridden from the logical shared heap wherever it has the
+        // page (local engine content can be stale — other workers'
+        // commits never replay into this shard).
+        self.inner.load(core, addr, buf);
+        self.heap.read_into(addr, buf);
+        for span in line_spans(addr, buf.len()) {
+            if let Some(w) = self.overlay.get(&span.addr.line_base().raw()) {
+                w.apply_to(addr, buf);
+            }
+        }
+        self.txn.apply_overlay(addr, buf);
+        self.txn.record_read(addr, buf.len());
+    }
+    fn store(&mut self, _core: CoreId, addr: VirtAddr, data: &[u8]) {
+        // Buffered in the core's (volatile) write set; the cost is paid
+        // at publication, when the winning intent replays through the
+        // real engine.
+        self.txn.buffer_store(addr, data);
+    }
+    fn commit(&mut self, _core: CoreId) {
+        panic!("the shared-heap driver manages transaction boundaries");
+    }
+    fn abort(&mut self, _core: CoreId) {
+        panic!("the shared-heap driver manages transaction boundaries");
+    }
+    fn crash(&mut self) {
+        panic!("crashes are driven by the harness, not workloads");
+    }
+    fn recover(&mut self) {
+        panic!("crashes are driven by the harness, not workloads");
+    }
+    fn in_txn(&self, core: CoreId) -> bool {
+        self.inner.in_txn(core)
+    }
+    fn txn_stats(&self) -> &TxnStats {
+        self.inner.txn_stats()
+    }
+}
+
+/// Setup-capture view: forwards everything to the inner engine (setup
+/// runs real transactions on every shard) and mirrors each store into
+/// the heap's seed state.
+struct CaptureView<'a, E> {
+    inner: &'a mut E,
+    heap: &'a mut VersionedHeap,
+}
+
+impl<E: TxnEngine> TxnEngine for CaptureView<'_, E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn machine(&self) -> &Machine {
+        self.inner.machine()
+    }
+    fn machine_mut(&mut self) -> &mut Machine {
+        self.inner.machine_mut()
+    }
+    fn map_new_page(&mut self, core: CoreId) -> Vpn {
+        self.inner.map_new_page(core)
+    }
+    fn begin(&mut self, core: CoreId) {
+        self.inner.begin(core)
+    }
+    fn load(&mut self, core: CoreId, addr: VirtAddr, buf: &mut [u8]) {
+        self.inner.load(core, addr, buf)
+    }
+    fn store(&mut self, core: CoreId, addr: VirtAddr, data: &[u8]) {
+        self.heap.seed_store(addr, data);
+        self.inner.store(core, addr, data)
+    }
+    fn commit(&mut self, core: CoreId) {
+        self.inner.commit(core)
+    }
+    fn abort(&mut self, _core: CoreId) {
+        panic!("setup transactions must not abort (the heap seed already absorbed their stores)");
+    }
+    fn crash(&mut self) {
+        panic!("crashes are driven by the harness, not workloads");
+    }
+    fn recover(&mut self) {
+        panic!("crashes are driven by the harness, not workloads");
+    }
+    fn in_txn(&self, core: CoreId) -> bool {
+        self.inner.in_txn(core)
+    }
+    fn txn_stats(&self) -> &TxnStats {
+        self.inner.txn_stats()
+    }
+}
+
+/// Rendezvous state for the shared-heap epoch protocol (the commit
+/// intents ride the same boundary as the interconnect streams).
+struct SharedSync {
+    barrier: PoisonBarrier,
+    state: Mutex<SharedState>,
+}
+
+struct SharedState {
+    heap: VersionedHeap,
+    interconnect: Option<Interconnect>,
+    streams: Vec<Vec<MemEvent>>,
+    llc_streams: Vec<Vec<LlcEvent>>,
+    intents: Vec<Vec<CommitIntent>>,
+    verdicts: Vec<Vec<Verdict>>,
+    outstanding: Vec<u64>,
+    charges: Vec<EpochCharge>,
+    done: bool,
+}
+
+impl SharedSync {
+    fn new(workers: usize) -> Self {
+        Self {
+            barrier: PoisonBarrier::new(workers),
+            state: Mutex::new(SharedState {
+                heap: VersionedHeap::new(),
+                interconnect: None,
+                streams: vec![Vec::new(); workers],
+                llc_streams: vec![Vec::new(); workers],
+                intents: vec![Vec::new(); workers],
+                verdicts: vec![Vec::new(); workers],
+                outstanding: vec![u64::MAX; workers],
+                charges: vec![EpochCharge::default(); workers],
+                done: false,
+            }),
+        }
+    }
+}
+
+/// Per-worker driver state.
+struct SharedWorker<E, W> {
+    engine: E,
+    workload: W,
+    rng: SmallRng,
+    lat: LatencyStats,
+    /// This worker's heap snapshot (refreshed at every boundary).
+    heap: VersionedHeap,
+    /// Own speculative writes of the current epoch, by line.
+    overlay: FxHashMap<u64, LineWrite>,
+    spec: SpecTxn,
+    /// Intents of the current epoch, in submission order.
+    pending_intents: Vec<CommitIntent>,
+    /// (pre-run RNG state, attempt) aligned with `pending_intents`.
+    pending_meta: Vec<(SmallRng, u32)>,
+    /// Aborted transactions to re-run, FIFO, before any fresh work.
+    retries: VecDeque<(SmallRng, u32)>,
+    /// Fresh transactions not yet started.
+    fresh: u64,
+    shared: SharedStats,
+    backoff: BackoffPolicy,
+    /// Epoch length when the interconnect is disabled.
+    epoch_fallback: u64,
+    w: usize,
+}
+
+impl<E: TxnEngine, W: Workload> SharedWorker<E, W> {
+    fn new(
+        engine: E,
+        workload: W,
+        cfg: &RunConfig,
+        shared_cfg: &SharedHeapConfig,
+        w: usize,
+    ) -> Self {
+        Self {
+            engine,
+            workload,
+            rng: SmallRng::seed_from_u64(worker_seed(cfg.seed, w)),
+            lat: LatencyStats::default(),
+            heap: VersionedHeap::new(),
+            overlay: FxHashMap::default(),
+            spec: SpecTxn::new(),
+            pending_intents: Vec::new(),
+            pending_meta: Vec::new(),
+            retries: VecDeque::new(),
+            fresh: 0,
+            shared: SharedStats::default(),
+            backoff: shared_cfg.backoff,
+            epoch_fallback: shared_cfg.epoch_cycles,
+            w,
+        }
+    }
+
+    /// Runs workload setup through the capture view: the local shard
+    /// gets its real persistent state (identical on every worker) and
+    /// the heap gets the seed bytes.
+    fn setup_capture(&mut self) {
+        let mut heap = VersionedHeap::new();
+        {
+            let mut view = CaptureView {
+                inner: &mut self.engine,
+                heap: &mut heap,
+            };
+            self.workload.setup(&mut view, SHARD_CORE);
+        }
+        self.engine.machine_mut().discard_mem_events();
+        self.heap = heap;
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.fresh + self.retries.len() as u64
+    }
+
+    /// Speculates until the local clock reaches `target` or no work is
+    /// left: retries first (after their backoff charge), then fresh
+    /// transactions off the main RNG stream.
+    fn run_epoch(&mut self, target: u64) {
+        debug_assert!(self.pending_intents.is_empty());
+        self.overlay.clear();
+        while self.engine.machine().cycles(SHARD_CORE) < target {
+            let (mut run_rng, attempt) = if let Some((rng, attempt)) = self.retries.pop_front() {
+                let delay = self.backoff.delay(attempt);
+                self.engine.machine_mut().add_cycles(SHARD_CORE, delay);
+                self.engine
+                    .machine_mut()
+                    .obs_record(ObsKind::OccRetry, delay);
+                self.shared.retries += 1;
+                self.shared.backoff_cycles += delay;
+                (rng, attempt)
+            } else if self.fresh > 0 {
+                self.fresh -= 1;
+                (self.rng.clone(), 0)
+            } else {
+                break;
+            };
+            let rng_before = run_rng.clone();
+            let c1 = self.engine.machine().cycles(SHARD_CORE);
+            {
+                let mut view = SpecView {
+                    inner: &mut self.engine,
+                    heap: &self.heap,
+                    overlay: &self.overlay,
+                    txn: &mut self.spec,
+                };
+                self.workload.run_txn(&mut view, SHARD_CORE, &mut run_rng);
+            }
+            let c2 = self.engine.machine().cycles(SHARD_CORE);
+            if attempt == 0 {
+                // Fresh transactions advance the main stream; retries run
+                // off their saved snapshot and must not.
+                self.rng = run_rng;
+            }
+            let seq = self.pending_intents.len() as u64;
+            let intent =
+                self.spec
+                    .take_intent(c2, self.w as u32, seq, attempt, self.heap.seq(), c2 - c1);
+            for lw in &intent.writes {
+                self.overlay
+                    .entry(lw.line)
+                    .and_modify(|e| e.merge(lw))
+                    .or_insert(*lw);
+            }
+            self.pending_intents.push(intent);
+            self.pending_meta.push((rng_before, attempt));
+        }
+    }
+
+    /// Publishes one winning intent through the real engine: begin, the
+    /// sorted buffered line writes, commit — the commit-time page
+    /// publication that makes the shard pay honest persistence cost.
+    fn replay(&mut self, intent: &CommitIntent) {
+        let m0 = self.engine.machine().cycles(SHARD_CORE);
+        self.engine.begin(SHARD_CORE);
+        let m1 = self.engine.machine().cycles(SHARD_CORE);
+        replay_stores(&mut self.engine, intent);
+        self.engine.commit(SHARD_CORE);
+        let m2 = self.engine.machine().cycles(SHARD_CORE);
+        self.lat.begin.record(m1 - m0);
+        self.lat.exec.record(intent.exec_cycles);
+        self.lat.commit.record(m2 - m1);
+        self.lat.txn.record(intent.exec_cycles + (m2 - m0));
+    }
+
+    /// Applies one epoch's verdicts: replay winners in submission order,
+    /// queue losers for retry.
+    fn resolve(&mut self, verdicts: &[Verdict], intents: Vec<CommitIntent>) {
+        let meta = std::mem::take(&mut self.pending_meta);
+        debug_assert_eq!(verdicts.len(), intents.len());
+        for ((verdict, intent), (rng_before, attempt)) in verdicts.iter().zip(intents).zip(meta) {
+            self.shared.validated += 1;
+            match verdict {
+                Verdict::Won => {
+                    self.shared.committed += 1;
+                    self.shared.max_attempt = self.shared.max_attempt.max(attempt as u64);
+                    self.engine
+                        .machine_mut()
+                        .obs_record(ObsKind::OccValidate, attempt as u64);
+                    self.replay(&intent);
+                }
+                Verdict::Conflict | Verdict::Cascade => {
+                    self.shared.aborted += 1;
+                    if *verdict == Verdict::Conflict {
+                        self.shared.conflicts += 1;
+                    } else {
+                        self.shared.cascades += 1;
+                    }
+                    self.engine
+                        .machine_mut()
+                        .obs_record(ObsKind::OccAbort, attempt as u64 + 1);
+                    self.retries.push_back((rng_before, attempt + 1));
+                }
+            }
+        }
+    }
+
+    /// One complete phase (all workers drain `fresh` + retries) of the
+    /// threaded epoch protocol. Mirrors
+    /// `Worker::run_measured_epochs`, with commit intents riding the
+    /// same rendezvous as the interconnect streams.
+    fn run_phase_threaded(&mut self, sync: &SharedSync, arbiter_cfg: &MachineConfig) {
+        let ic_enabled = arbiter_cfg.interconnect.enabled;
+        let epoch_cycles = phase_epoch_cycles(arbiter_cfg, self.epoch_fallback);
+        let w = self.w;
+        let mut target = self.engine.machine().cycles(SHARD_CORE) + epoch_cycles;
+        loop {
+            self.run_epoch(target);
+            {
+                let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                if ic_enabled {
+                    self.engine
+                        .machine_mut()
+                        .take_mem_events_into(&mut st.streams[w]);
+                    self.engine
+                        .machine_mut()
+                        .take_llc_events_into(&mut st.llc_streams[w]);
+                } else {
+                    self.engine.machine_mut().discard_mem_events();
+                }
+                st.intents[w] = std::mem::take(&mut self.pending_intents);
+                st.outstanding[w] = self.outstanding();
+            }
+            if sync.barrier.wait() {
+                let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                let st = &mut *st;
+                if ic_enabled {
+                    let shards = st.streams.len();
+                    let ic = st
+                        .interconnect
+                        .get_or_insert_with(|| Interconnect::new(arbiter_cfg, shards));
+                    st.charges = ic.arbitrate_epoch(&st.streams, &st.llc_streams);
+                }
+                st.verdicts = validate_epoch(&mut st.heap, &st.intents);
+                st.done = st.outstanding.iter().all(|&r| r == 0)
+                    && st.verdicts.iter().flatten().all(|v| *v == Verdict::Won);
+            }
+            sync.barrier.wait();
+            let (charge, done, verdicts, intents, heap) = {
+                let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                let st = &mut *st;
+                (
+                    st.charges[w],
+                    st.done,
+                    std::mem::take(&mut st.verdicts[w]),
+                    std::mem::take(&mut st.intents[w]),
+                    st.heap.clone(),
+                )
+            };
+            if ic_enabled {
+                self.engine
+                    .machine_mut()
+                    .apply_epoch_charge(SHARD_CORE, &charge);
+            }
+            self.heap = heap;
+            self.resolve(&verdicts, intents);
+            if done {
+                break;
+            }
+            target += epoch_cycles;
+        }
+    }
+
+    fn finish(mut self, base: (MachineStats, TxnStats, u64)) -> SharedShardRun<E> {
+        let (stats_base, txn_base, cycles_base) = base;
+        let stats = self.engine.machine().stats().diff(&stats_base);
+        let mut txn_stats = self.engine.txn_stats().diff(&txn_base);
+        // The engine only ever sees winning replays; OCC aborts are the
+        // shared-heap mode's aborts and fold into the same counter.
+        txn_stats.aborted += self.shared.aborted;
+        let elapsed_cycles = self.engine.machine().cycles(SHARD_CORE) - cycles_base;
+        self.engine.machine_mut().discard_mem_events();
+        SharedShardRun {
+            worker: self.w,
+            txns: self.shared.committed,
+            elapsed_cycles,
+            stats,
+            txn_stats,
+            latency: self.lat,
+            shared: self.shared,
+            engine: self.engine,
+        }
+    }
+}
+
+/// Epoch length of the shared-heap protocol: an enabled interconnect's
+/// boundary (so commit intents and memory streams share one rendezvous),
+/// else the shared-heap config's own.
+fn phase_epoch_cycles(cfg: &MachineConfig, fallback: u64) -> u64 {
+    if cfg.interconnect.enabled {
+        cfg.interconnect.epoch_cycles.max(1)
+    } else {
+        fallback.max(1)
+    }
+}
+
+/// Runs a shared-heap OCC run over `cfg.threads` workers (see the
+/// module docs for the protocol and determinism contract).
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero or a worker thread panics.
+pub fn run_shared<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    shared_cfg: &SharedHeapConfig,
+) -> SharedRun<E>
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    assert!(cfg.threads >= 1, "at least one worker");
+    match cfg.mode {
+        ExecMode::Threaded => run_shared_threaded(mk_engine, mk_workload, cfg, shared_cfg),
+        ExecMode::Sequential => run_shared_sequential(mk_engine, mk_workload, cfg, shared_cfg),
+    }
+}
+
+type ShardBase = (MachineStats, TxnStats, u64);
+
+fn snapshot_base<E: TxnEngine, W: Workload>(worker: &SharedWorker<E, W>) -> ShardBase {
+    (
+        worker.engine.machine().stats().clone(),
+        worker.engine.txn_stats().clone(),
+        worker.engine.machine().cycles(SHARD_CORE),
+    )
+}
+
+fn assemble<E: TxnEngine, W: Workload>(
+    workers: Vec<SharedWorker<E, W>>,
+    bases: Vec<ShardBase>,
+    txns_total: u64,
+    host_elapsed: Duration,
+) -> SharedRun<E> {
+    let workload_name = workers[0].workload.name();
+    let shards: Vec<SharedShardRun<E>> = workers
+        .into_iter()
+        .zip(bases)
+        .map(|(worker, base)| worker.finish(base))
+        .collect();
+    let mut stats = MachineStats::new();
+    let mut txn_stats = TxnStats::default();
+    let mut latency = LatencyStats::default();
+    let mut shared = SharedStats::default();
+    for shard in &shards {
+        stats.merge(&shard.stats);
+        txn_stats.merge(&shard.txn_stats);
+        latency.merge(&shard.latency);
+        shared.merge(&shard.shared);
+    }
+    let elapsed = shards.iter().map(|s| s.elapsed_cycles).max().unwrap_or(0);
+    let freq_hz = shards[0].engine.machine().config().freq_ghz * 1e9;
+    let tps = if elapsed == 0 {
+        0.0
+    } else {
+        txns_total as f64 / (elapsed as f64 / freq_hz)
+    };
+    let result = RunResult {
+        engine: shards[0].engine.name().to_string(),
+        workload: workload_name.to_string(),
+        txns: txns_total,
+        elapsed_cycles: elapsed,
+        tps,
+        stats,
+        txn_stats,
+        latency,
+    };
+    SharedRun {
+        result,
+        shared,
+        shards,
+        host_elapsed,
+    }
+}
+
+fn run_shared_threaded<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    shared_cfg: &SharedHeapConfig,
+) -> SharedRun<E>
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    let threads = cfg.threads;
+    let sync = SharedSync::new(threads);
+    let start = PoisonBarrier::new(threads + 1);
+    let end = PoisonBarrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let (mk_engine, mk_workload) = (&mk_engine, &mk_workload);
+                let (sync, start, end) = (&sync, &start, &end);
+                scope.spawn(move || {
+                    let _poison = PoisonOnPanic(vec![start, end, &sync.barrier]);
+                    let mut worker =
+                        SharedWorker::new(mk_engine(w), mk_workload(w), cfg, shared_cfg, w);
+                    worker.setup_capture();
+                    // Seed the canonical heap once; setups are identical
+                    // on every worker, so any leader's copy is *the*
+                    // copy.
+                    if sync.barrier.wait() {
+                        let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                        st.heap = worker.heap.clone();
+                    }
+                    sync.barrier.wait();
+                    let arbiter_cfg = worker.engine.machine().config().clone();
+                    // Warm-up phase: full epoch protocol, measured from
+                    // clean baselines afterwards.
+                    worker.fresh = worker_share(cfg.warmup, threads, w);
+                    worker.run_phase_threaded(sync, &arbiter_cfg);
+                    let base = snapshot_base(&worker);
+                    worker.lat.reset();
+                    worker.shared = SharedStats::default();
+                    start.wait();
+                    worker.fresh = worker_share(cfg.txns, threads, w);
+                    worker.run_phase_threaded(sync, &arbiter_cfg);
+                    end.wait();
+                    (worker, base)
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        end.wait();
+        let host_elapsed = t0.elapsed();
+        let (workers, bases): (Vec<_>, Vec<_>) = handles
+            .into_iter()
+            .map(|h| h.join().expect("shared-heap worker thread panicked"))
+            .unzip();
+        assemble(workers, bases, cfg.txns, host_elapsed)
+    })
+}
+
+fn run_shared_sequential<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    shared_cfg: &SharedHeapConfig,
+) -> SharedRun<E>
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    let threads = cfg.threads;
+    let mut workers: Vec<SharedWorker<E, W>> = (0..threads)
+        .map(|w| {
+            let mut worker = SharedWorker::new(mk_engine(w), mk_workload(w), cfg, shared_cfg, w);
+            worker.setup_capture();
+            worker
+        })
+        .collect();
+    let mut heap = workers[0].heap.clone();
+    let mut ic: Option<Interconnect> = None;
+    let arbiter_cfg = workers[0].engine.machine().config().clone();
+    for (w, worker) in workers.iter_mut().enumerate() {
+        worker.fresh = worker_share(cfg.warmup, threads, w);
+    }
+    run_phase_sequential(&mut workers, &mut heap, &mut ic, &arbiter_cfg);
+    let bases: Vec<ShardBase> = workers.iter().map(snapshot_base).collect();
+    for worker in workers.iter_mut() {
+        worker.lat.reset();
+        worker.shared = SharedStats::default();
+    }
+    let t0 = Instant::now();
+    for (w, worker) in workers.iter_mut().enumerate() {
+        worker.fresh = worker_share(cfg.txns, threads, w);
+    }
+    run_phase_sequential(&mut workers, &mut heap, &mut ic, &arbiter_cfg);
+    let host_elapsed = t0.elapsed();
+    assemble(workers, bases, cfg.txns, host_elapsed)
+}
+
+/// The sequential analogue of [`SharedWorker::run_phase_threaded`]:
+/// identical per-epoch arithmetic, one worker at a time, so a threaded
+/// run must match it bit-for-bit.
+fn run_phase_sequential<E: TxnEngine, W: Workload>(
+    workers: &mut [SharedWorker<E, W>],
+    heap: &mut VersionedHeap,
+    ic_slot: &mut Option<Interconnect>,
+    arbiter_cfg: &MachineConfig,
+) {
+    let ic_enabled = arbiter_cfg.interconnect.enabled;
+    let epoch_cycles = phase_epoch_cycles(arbiter_cfg, workers[0].epoch_fallback);
+    let n = workers.len();
+    let mut targets: Vec<u64> = workers
+        .iter()
+        .map(|wk| wk.engine.machine().cycles(SHARD_CORE) + epoch_cycles)
+        .collect();
+    let mut streams: Vec<Vec<MemEvent>> = vec![Vec::new(); n];
+    let mut llc_streams: Vec<Vec<LlcEvent>> = vec![Vec::new(); n];
+    loop {
+        let mut intents: Vec<Vec<CommitIntent>> = Vec::with_capacity(n);
+        for (w, worker) in workers.iter_mut().enumerate() {
+            worker.run_epoch(targets[w]);
+            if ic_enabled {
+                worker
+                    .engine
+                    .machine_mut()
+                    .take_mem_events_into(&mut streams[w]);
+                worker
+                    .engine
+                    .machine_mut()
+                    .take_llc_events_into(&mut llc_streams[w]);
+            } else {
+                worker.engine.machine_mut().discard_mem_events();
+            }
+            intents.push(std::mem::take(&mut worker.pending_intents));
+        }
+        let charges: Vec<EpochCharge> = if ic_enabled {
+            let ic = ic_slot.get_or_insert_with(|| Interconnect::new(arbiter_cfg, n));
+            ic.arbitrate_epoch(&streams, &llc_streams)
+        } else {
+            vec![EpochCharge::default(); n]
+        };
+        let verdicts = validate_epoch(heap, &intents);
+        // Deposit-time outstanding counts, exactly like the threaded
+        // leader sees them (resolve below pushes new retries).
+        let done = workers.iter().all(|wk| wk.outstanding() == 0)
+            && verdicts.iter().flatten().all(|v| *v == Verdict::Won);
+        for ((w, worker), intents_w) in workers.iter_mut().enumerate().zip(intents) {
+            if ic_enabled {
+                worker
+                    .engine
+                    .machine_mut()
+                    .apply_epoch_charge(SHARD_CORE, &charges[w]);
+            }
+            worker.heap = heap.clone();
+            worker.resolve(&verdicts[w], intents_w);
+            targets[w] += epoch_cycles;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+fn replay_stores<E: TxnEngine>(engine: &mut E, intent: &CommitIntent) {
+    for lw in &intent.writes {
+        let mut i = 0;
+        while i < LINE_SIZE {
+            if lw.mask & (1u64 << i) == 0 {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < LINE_SIZE && lw.mask & (1u64 << i) != 0 {
+                i += 1;
+            }
+            engine.store(
+                SHARD_CORE,
+                VirtAddr::new(lw.line + start as u64),
+                &lw.data[start..i],
+            );
+        }
+    }
+}
+
+/// Report of a [`run_shared_crash_probe`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCrashReport {
+    /// Power cuts that tripped (each during a publication replay).
+    pub storms: u64,
+    /// Cut transactions the engine rolled back on recovery.
+    pub torn_dropped: u64,
+    /// Cut transactions whose commit mark beat the freeze.
+    pub torn_kept: u64,
+    /// Committed transactions lost or corrupted — must be 0.
+    pub lost: u64,
+    /// Transactions committed over the whole run.
+    pub committed: u64,
+    /// OCC aborts over the whole run.
+    pub aborted: u64,
+}
+
+/// Shared-heap run with a scheduled power cut landing inside a
+/// publication replay (validation/publication is the only phase that
+/// touches the engines' commit paths, so an
+/// [`FaultSite::CommitData`]/[`FaultSite::CommitMark`] cut cuts
+/// publication mid-flight). The victim shard crashes, recovers, and is
+/// checked against the byte [`Oracle`](ssp_txn::Oracle): the cut
+/// transaction must be *either* wholly dropped or wholly kept, and no
+/// other committed transaction may be disturbed — the same zero-loss
+/// contract the crash-storm harness enforces.
+///
+/// Sequential-only (the probe exists for the crash tests; the
+/// determinism suite covers threaded equivalence of the crash-free
+/// protocol) and requires the interconnect disabled.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero, `victim` is out of range, the mode
+/// is threaded, or the interconnect is enabled.
+pub fn run_shared_crash_probe<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    shared_cfg: &SharedHeapConfig,
+    victim: usize,
+    site: FaultSite,
+    hits: u32,
+) -> SharedCrashReport
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    assert!(cfg.threads >= 1, "at least one worker");
+    assert!(victim < cfg.threads, "victim worker out of range");
+    assert_eq!(
+        cfg.mode,
+        ExecMode::Sequential,
+        "the crash probe is sequential-only"
+    );
+    let threads = cfg.threads;
+    let mut workers: Vec<SharedWorker<OracleEngine<E>, W>> = (0..threads)
+        .map(|w| {
+            let mut worker = SharedWorker::new(
+                OracleEngine::new(mk_engine(w)),
+                mk_workload(w),
+                cfg,
+                shared_cfg,
+                w,
+            );
+            worker.setup_capture();
+            worker.engine.set_recording(true);
+            worker
+        })
+        .collect();
+    assert!(
+        !workers[0].engine.machine().config().interconnect.enabled,
+        "the crash probe requires the interconnect disabled"
+    );
+    let mut heap = workers[0].heap.clone();
+    workers[victim]
+        .engine
+        .machine_mut()
+        .arm_crash(CrashPoint::AtSite { site, hits });
+    let mut report = SharedCrashReport::default();
+    let epoch_cycles = shared_cfg.epoch_cycles.max(1);
+    let mut targets: Vec<u64> = workers
+        .iter()
+        .map(|wk| wk.engine.machine().cycles(SHARD_CORE) + epoch_cycles)
+        .collect();
+    for (w, worker) in workers.iter_mut().enumerate() {
+        worker.fresh = worker_share(cfg.warmup + cfg.txns, threads, w);
+    }
+    loop {
+        let mut intents: Vec<Vec<CommitIntent>> = Vec::with_capacity(threads);
+        for (w, worker) in workers.iter_mut().enumerate() {
+            worker.run_epoch(targets[w]);
+            worker.engine.machine_mut().discard_mem_events();
+            intents.push(std::mem::take(&mut worker.pending_intents));
+        }
+        let verdicts = validate_epoch(&mut heap, &intents);
+        let done = workers.iter().all(|wk| wk.outstanding() == 0)
+            && verdicts.iter().flatten().all(|v| *v == Verdict::Won);
+        for ((w, worker), intents_w) in workers.iter_mut().enumerate().zip(intents) {
+            worker.heap = heap.clone();
+            // Inline `resolve`, with the oracle fold and the storm dance
+            // after every publication replay.
+            let meta = std::mem::take(&mut worker.pending_meta);
+            for ((verdict, intent), (rng_before, attempt)) in
+                verdicts[w].iter().zip(intents_w).zip(meta)
+            {
+                worker.shared.validated += 1;
+                match verdict {
+                    Verdict::Won => {
+                        worker.shared.committed += 1;
+                        worker.replay(&intent);
+                        if worker.engine.machine().power_lost() {
+                            probe_storm(&mut worker.engine, &mut report);
+                            // The crash reset the shard's clock; restart
+                            // its epoch ladder from the recovered state.
+                            targets[w] = worker.engine.machine().cycles(SHARD_CORE);
+                        } else {
+                            worker.engine.oracle_mut().on_commit(SHARD_CORE);
+                        }
+                    }
+                    Verdict::Conflict | Verdict::Cascade => {
+                        worker.shared.aborted += 1;
+                        worker.retries.push_back((rng_before, attempt + 1));
+                    }
+                }
+            }
+            targets[w] += epoch_cycles;
+        }
+        if done {
+            break;
+        }
+    }
+    // Final quiesce: fingerprint-style oracle check of every shard's
+    // durable state.
+    for worker in workers.iter_mut() {
+        worker.engine.machine_mut().disarm_crash();
+        worker.engine.crash();
+        worker.engine.oracle_mut().on_crash();
+        worker.engine.recover();
+        let oracle = worker.engine.oracle().clone();
+        if oracle.verify(&mut worker.engine, SHARD_CORE).is_err() {
+            report.lost += 1;
+        }
+        report.committed += worker.shared.committed;
+        report.aborted += worker.shared.aborted;
+    }
+    report
+}
+
+/// The dual-candidate resolution after a power cut inside a publication
+/// replay, mirroring the crash-storm driver: the cut transaction is
+/// legal dropped or kept; anything else is data loss.
+fn probe_storm<E: TxnEngine>(engine: &mut OracleEngine<E>, report: &mut SharedCrashReport) {
+    report.storms += 1;
+    let mut dropped = engine.oracle().clone();
+    dropped.on_crash();
+    let mut kept = engine.oracle().clone();
+    kept.on_commit(SHARD_CORE);
+    kept.on_crash();
+    engine.crash();
+    engine.recover();
+    if dropped.verify(engine, SHARD_CORE).is_ok() {
+        report.torn_dropped += 1;
+        engine.set_oracle(dropped);
+    } else if kept.verify(engine, SHARD_CORE).is_ok() {
+        report.torn_kept += 1;
+        engine.set_oracle(kept);
+    } else {
+        report.lost += 1;
+        engine.set_oracle(dropped);
+    }
+}

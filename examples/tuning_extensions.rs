@@ -6,11 +6,18 @@
 //! crash-atomic spare rotation.
 //!
 //! Run with: `cargo run --release --example tuning_extensions`
+//!
+//! Pass `--shared` to additionally sweep the shared-heap conflict dial:
+//! the OCC mode's abort/retry behaviour as contention rises
+//! (`cargo run --release --example tuning_extensions -- --shared`).
 
 use ssp::core::engine::Ssp;
 use ssp::simulator::cache::CoreId;
 use ssp::simulator::config::MachineConfig;
 use ssp::txn::engine::TxnEngine;
+use ssp::workloads::runner::{ExecMode, RunConfig};
+use ssp::workloads::shared::{run_shared, SharedHeapConfig};
+use ssp::workloads::ConflictSps;
 use ssp::{SspConfig, WriteClass};
 
 fn sparse_updates(lines_per_subpage: usize) -> (u64, u64) {
@@ -68,4 +75,49 @@ fn main() {
         assert_eq!(u64::from_le_bytes(buf), i as u64);
     }
     println!("all data verified after rotation + crash + recovery");
+
+    if std::env::args().any(|a| a == "--shared") {
+        shared_dial_sweep();
+    } else {
+        println!("\n(re-run with `-- --shared` to sweep the shared-heap conflict dial)");
+    }
+}
+
+/// The shared-heap conflict dial: 4 clients on one versioned store,
+/// sweeping the fraction of transactions that touch the shared region.
+fn shared_dial_sweep() {
+    const CLIENTS: usize = 4;
+    println!("\nShared-heap mode — conflict dial sweep ({CLIENTS} clients)\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10}",
+        "dial", "committed", "aborted", "abort rate", "cyc/txn"
+    );
+    let shard = MachineConfig::default().shard_slice(CLIENTS);
+    for dial in [0.0, 0.3, 0.6, 0.9] {
+        let cfg = RunConfig {
+            txns: 200,
+            warmup: 20,
+            threads: CLIENTS,
+            seed: 0x55d0_2019,
+            mode: ExecMode::Threaded,
+        };
+        let run = run_shared(
+            |_| Ssp::new(shard.clone(), SspConfig::default()),
+            |w| ConflictSps::uniform(256, 256, CLIENTS, w, dial),
+            &cfg,
+            &SharedHeapConfig::default(),
+        );
+        let s = &run.shared;
+        println!(
+            "{dial:<8} {:>10} {:>10} {:>11.1}% {:>10}",
+            s.committed,
+            s.aborted,
+            s.abort_rate() * 100.0,
+            run.result.elapsed_cycles / run.result.txns.max(1)
+        );
+    }
+    println!("\nDial 0 = line-disjoint working sets: zero aborts by construction.");
+    println!("Raising the dial concentrates writes on the shared region and the");
+    println!("first-committer-wins validator aborts (and deterministically");
+    println!("retries) the losers — same counters on every run, threaded or not.");
 }
