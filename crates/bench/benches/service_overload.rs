@@ -1,0 +1,12 @@
+//! Thin wrapper: this target lives in `ssp_bench::targets::service_overload`
+//! so the `bench_all` binary can run every figure against one shared
+//! [`MatrixRunner`]. Run standalone via
+//! `cargo bench -p ssp-bench --bench service_overload`.
+
+use ssp_bench::MatrixRunner;
+
+fn main() {
+    let runner = MatrixRunner::new();
+    ssp_bench::targets::service_overload::run(&runner).write();
+    println!("{}", runner.stats_line());
+}

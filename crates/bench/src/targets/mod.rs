@@ -21,6 +21,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod recovery;
 pub mod scaling;
+pub mod service_overload;
 pub mod shared_conflicts;
 pub mod table3;
 pub mod table4;
@@ -33,7 +34,7 @@ pub fn quick_mode() -> bool {
 /// Runs every ported target against `runner` and writes each report.
 /// Returns the reports in run order.
 pub fn run_all(runner: &MatrixRunner) -> Vec<BenchReport> {
-    let targets: [fn(&MatrixRunner) -> BenchReport; 13] = [
+    let targets: [fn(&MatrixRunner) -> BenchReport; 14] = [
         fig5::run,
         fig6::run,
         fig7::run,
@@ -47,6 +48,7 @@ pub fn run_all(runner: &MatrixRunner) -> Vec<BenchReport> {
         recovery::run,
         crash_storm::run,
         shared_conflicts::run,
+        service_overload::run,
     ];
     targets
         .iter()

@@ -1,0 +1,340 @@
+//! Service-mode benchmark: the always-on front end under overload,
+//! group commit, and recovery-under-fire.
+//!
+//! Three cell families over [`run_service`]:
+//!
+//! 1. **Overload sweep** (SSP): arrival period × admission policy at
+//!    group size 1. Dialing the arrival rate up must push the shed rate
+//!    up *monotonically* for every policy — asserted in the target and
+//!    gated again in CI from the emitted JSON.
+//! 2. **Group-commit sweep**: engine × group size {1, 4, 16} at a
+//!    moderate rate. Batching requests into one engine transaction must
+//!    cut journal flushes vs group size 1 (asserted for every engine
+//!    that journals at all) — the measured group-commit amortization.
+//! 3. **Recovery-under-fire**: engine × a periodic storm schedule with
+//!    group commit on. Every cell must report storms > 0, a non-zero
+//!    unavailability window, zero committed-request loss, and exact
+//!    shed/served/expired conservation.
+//!
+//! Every cell is run threaded twice and sequentially once; all three
+//! must match bit-for-bit (service counters, latency histograms, drain
+//! curves, NVRAM fingerprints). Everything under `sim` is integer,
+//! deterministic simulated state, exact-gated by `bench_diff`.
+
+use std::time::Instant;
+
+use ssp_simulator::config::MachineConfig;
+use ssp_workloads::service::{run_service, AdmissionPolicy, ServiceConfig, ServiceRun};
+use ssp_workloads::storm::StormSchedule;
+use ssp_workloads::{ExecMode, RunConfig};
+
+use super::quick_mode;
+use crate::json::Json;
+use crate::{
+    make_engine, make_workload, print_matrix, BenchReport, BoxedEngine, EngineKind, MatrixRunner,
+    Scale, SspConfig, WorkloadKind,
+};
+
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::Undo,
+    EngineKind::Redo,
+    EngineKind::Ssp,
+    EngineKind::Shadow,
+];
+
+/// Clients (= shards) in every cell.
+const CLIENTS: usize = 2;
+
+/// Arrival periods of the overload sweep, hot to cold (cycles between
+/// arrivals per shard; smaller = hotter).
+const OVERLOAD_PERIODS: [u64; 3] = [150, 600, 6_000];
+
+/// Group sizes of the group-commit sweep.
+const GROUP_SIZES: [usize; 3] = [1, 4, 16];
+
+fn run_cfg(quick: bool) -> RunConfig {
+    RunConfig {
+        txns: if quick { 240 } else { 2_000 },
+        warmup: if quick { 40 } else { 200 },
+        threads: CLIENTS,
+        seed: 0x55d0_2019,
+        mode: ExecMode::Threaded,
+    }
+}
+
+fn policy_name(p: AdmissionPolicy) -> &'static str {
+    match p {
+        AdmissionPolicy::DropTail => "drop_tail",
+        AdmissionPolicy::DeadlineShed => "deadline_shed",
+        AdmissionPolicy::Backpressure { .. } => "backpressure",
+    }
+}
+
+/// One service cell, threaded twice + sequential once, all three
+/// asserted bit-identical (the determinism contract with service mode
+/// fully on).
+fn service_cell(
+    engine: EngineKind,
+    svc: &ServiceConfig,
+    quick: bool,
+    label: &str,
+) -> ServiceRun<BoxedEngine> {
+    let shard = MachineConfig::default().shard_slice(CLIENTS);
+    let ssp_cfg = SspConfig::default();
+    let scale = Scale::SMOKE.per_shard(CLIENTS);
+    let cell = |mode: ExecMode| {
+        let mut cfg = run_cfg(quick);
+        cfg.mode = mode;
+        run_service(
+            |_w| make_engine(engine, &shard, &ssp_cfg),
+            |_w| make_workload(WorkloadKind::Sps, scale),
+            &cfg,
+            svc,
+        )
+    };
+    let threaded = cell(ExecMode::Threaded);
+    let repeat = cell(ExecMode::Threaded);
+    let sequential = cell(ExecMode::Sequential);
+    for other in [&repeat, &sequential] {
+        assert_eq!(
+            threaded.result, other.result,
+            "{label}: merged counters diverged across modes/repeats"
+        );
+        assert_eq!(
+            threaded.service, other.service,
+            "{label}: service counters diverged across modes/repeats"
+        );
+        for (t, o) in threaded.shards.iter().zip(&other.shards) {
+            assert_eq!(t.service, o.service, "{label}: shard {} service", t.worker);
+            assert_eq!(t.latency, o.latency, "{label}: shard {} latency", t.worker);
+            assert_eq!(t.curve, o.curve, "{label}: shard {} drain curve", t.worker);
+            assert_eq!(
+                t.fingerprint, o.fingerprint,
+                "{label}: shard {} fingerprint",
+                t.worker
+            );
+        }
+    }
+    let s = threaded.service;
+    assert!(s.conserves(), "{label}: accounting must conserve: {s:?}");
+    assert_eq!(s.in_queue, 0, "{label}: the run must drain: {s:?}");
+    assert_eq!(s.lost, 0, "{label}: committed requests lost: {s:?}");
+    threaded
+}
+
+/// Order-dependent fold of the shard fingerprints.
+fn combined_fingerprint(run: &ServiceRun<BoxedEngine>) -> u64 {
+    run.shards
+        .iter()
+        .map(|s| s.fingerprint)
+        .fold(0u64, |acc, f| acc.rotate_left(17) ^ f)
+}
+
+fn cell_json(
+    family: &str,
+    engine: EngineKind,
+    svc: &ServiceConfig,
+    run: &ServiceRun<BoxedEngine>,
+) -> Json {
+    let s = &run.service;
+    let mut sim = Json::obj();
+    sim.set("family", Json::Str(family.to_string()));
+    sim.set("engine", Json::Str(engine.name().to_string()));
+    sim.set("period_cycles", Json::U64(svc.period_cycles));
+    sim.set("policy", Json::Str(policy_name(svc.admission).to_string()));
+    sim.set("group", Json::U64(svc.group as u64));
+    sim.set("arrivals", Json::U64(s.arrivals));
+    sim.set("admitted", Json::U64(s.admitted));
+    sim.set("served", Json::U64(s.served));
+    sim.set("shed", Json::U64(s.shed));
+    sim.set("shed_admission", Json::U64(s.shed_admission));
+    sim.set("shed_retry", Json::U64(s.shed_retry));
+    sim.set("expired", Json::U64(s.expired));
+    sim.set("retried", Json::U64(s.retried));
+    sim.set("groups", Json::U64(s.groups));
+    sim.set("storms", Json::U64(s.storms));
+    sim.set("torn_dropped", Json::U64(s.torn_dropped));
+    sim.set("torn_kept", Json::U64(s.torn_kept));
+    sim.set("lost", Json::U64(s.lost));
+    sim.set("unavailability_cycles", Json::U64(s.unavailability_cycles));
+    sim.set("queue_peak", Json::U64(s.queue_peak));
+    sim.set("shed_rate_bp", Json::U64(s.shed_rate_bp()));
+    sim.set("journal_writes", Json::U64(run.result.logging_writes()));
+    sim.set(
+        "nvram_writes",
+        Json::U64(run.result.stats.nvram_writes_total()),
+    );
+    sim.set("elapsed_cycles", Json::U64(run.result.elapsed_cycles));
+    sim.set(
+        "cycles_per_served",
+        Json::U64(run.result.elapsed_cycles / s.served.max(1)),
+    );
+    sim.set(
+        "p99_sojourn",
+        Json::U64(run.result.latency.txn.percentile(99)),
+    );
+    sim.set("fingerprint", Json::U64(combined_fingerprint(run)));
+    sim
+}
+
+/// Runs the target and returns its report.
+pub fn run(_runner: &MatrixRunner) -> BenchReport {
+    let t0 = Instant::now();
+    let quick = quick_mode();
+
+    let mut rows = Vec::new();
+    let mut sim_rows = Vec::new();
+
+    // Family 1: overload sweep (SSP), arrival period × admission policy.
+    let policies = [
+        AdmissionPolicy::DropTail,
+        AdmissionPolicy::DeadlineShed,
+        AdmissionPolicy::Backpressure { threshold: 16 },
+    ];
+    for policy in policies {
+        let mut prev_shed_bp: Option<u64> = None;
+        // Cold to hot, so monotonicity reads as "shed rate never drops
+        // as the rate dials up".
+        for &period in OVERLOAD_PERIODS.iter().rev() {
+            let svc = ServiceConfig {
+                period_cycles: period,
+                admission: policy,
+                group: 1,
+                queue_capacity: 32,
+                deadline_cycles: 20_000,
+                ..ServiceConfig::default()
+            };
+            let label = format!("overload {} p{period}", policy_name(policy));
+            let run = service_cell(EngineKind::Ssp, &svc, quick, &label);
+            let s = run.service;
+            if let Some(prev) = prev_shed_bp {
+                assert!(
+                    s.shed_rate_bp() >= prev,
+                    "{label}: shed rate must be monotone in arrival rate \
+                     ({} bp after {} bp)",
+                    s.shed_rate_bp(),
+                    prev
+                );
+            }
+            prev_shed_bp = Some(s.shed_rate_bp());
+            rows.push((
+                format!("{} p{period}", policy_name(policy)),
+                vec![
+                    format!("{}", s.arrivals),
+                    format!("{}", s.served),
+                    format!("{}", s.shed),
+                    format!("{}", s.expired),
+                    format!("{:.1}%", s.shed_rate_bp() as f64 / 100.0),
+                    format!("{}", s.queue_peak),
+                ],
+            ));
+            sim_rows.push(cell_json("overload", EngineKind::Ssp, &svc, &run));
+        }
+        // The hottest cell must actually overload the front end.
+        assert!(
+            prev_shed_bp.unwrap_or(0) > 0,
+            "{}: the hottest period must shed",
+            policy_name(policy)
+        );
+    }
+
+    // Family 2: group-commit sweep, engine × group size.
+    for engine in ENGINES {
+        let mut journal_at_g1 = 0u64;
+        let mut groups_at_g1 = 0u64;
+        for group in GROUP_SIZES {
+            let svc = ServiceConfig {
+                period_cycles: 600,
+                group,
+                ..ServiceConfig::default()
+            };
+            let label = format!("group {} g{group}", engine.name());
+            let run = service_cell(engine, &svc, quick, &label);
+            let s = run.service;
+            let journal = run.result.logging_writes();
+            if group == 1 {
+                journal_at_g1 = journal;
+                groups_at_g1 = s.groups;
+            } else {
+                assert!(
+                    s.groups < groups_at_g1,
+                    "{label}: batching must issue fewer group commits \
+                     ({} vs {groups_at_g1})",
+                    s.groups
+                );
+                if journal_at_g1 > 0 {
+                    assert!(
+                        journal < journal_at_g1,
+                        "{label}: group commit must amortize journal flushes \
+                         ({journal} vs {journal_at_g1})"
+                    );
+                }
+            }
+            rows.push((
+                format!("{} g{group}", engine.name()),
+                vec![
+                    format!("{}", s.arrivals),
+                    format!("{}", s.served),
+                    format!("{}", s.groups),
+                    format!("{journal}"),
+                    format!("{}", run.result.stats.nvram_writes_total()),
+                    format!("{}", run.result.elapsed_cycles / s.served.max(1)),
+                ],
+            ));
+            sim_rows.push(cell_json("group", engine, &svc, &run));
+        }
+    }
+
+    // Family 3: recovery-under-fire, engine × periodic storms with group
+    // commit on.
+    for engine in ENGINES {
+        let svc = ServiceConfig {
+            period_cycles: 600,
+            group: 4,
+            storm: Some(StormSchedule::every_cycles(40_000)),
+            ..ServiceConfig::default()
+        };
+        let label = format!("recovery {}", engine.name());
+        let run = service_cell(engine, &svc, quick, &label);
+        let s = run.service;
+        assert!(s.storms > 0, "{label}: no storm tripped: {s:?}");
+        assert!(
+            s.unavailability_cycles > 0,
+            "{label}: recovery must report a non-zero unavailability window: {s:?}"
+        );
+        rows.push((
+            format!("{} storm", engine.name()),
+            vec![
+                format!("{}", s.storms),
+                format!("{}", s.served),
+                format!("{}", s.shed + s.expired),
+                format!("{}", s.retried),
+                format!("{}", s.lost),
+                format!("{}", s.unavailability_cycles),
+            ],
+        ));
+        sim_rows.push(cell_json("recovery", engine, &svc, &run));
+    }
+
+    print_matrix(
+        "Service overload (SPS): family cells",
+        &[
+            "arr/storm",
+            "served",
+            "shed/+exp",
+            "grp/retr",
+            "jrnl/lost",
+            "tail",
+        ],
+        &rows,
+    );
+    println!("\nevery cell is run threaded twice and sequentially once; all three");
+    println!("must match bit-for-bit including shed counts, drain curves and");
+    println!("fingerprints; shed rate is asserted monotone in arrival rate, group");
+    println!("commit must cut journal flushes, and storms must lose nothing");
+
+    let mut report = BenchReport::new("service_overload", quick);
+    report.sim("rows", Json::Arr(sim_rows));
+    report.host_wall(t0.elapsed());
+    report
+}

@@ -35,6 +35,7 @@ use ssp_core::SspConfig;
 use ssp_simulator::config::MachineConfig;
 use ssp_txn::engine::TxnEngine;
 use ssp_workloads::conflict::ConflictSps;
+use ssp_workloads::dist::KeyDist;
 use ssp_workloads::runner::{run_parallel, ExecMode, RunConfig};
 use ssp_workloads::shared::{run_shared, SharedHeapConfig, SharedRun};
 
@@ -63,14 +64,53 @@ fn run_cfg(threads: usize, quick: bool) -> RunConfig {
     }
 }
 
-fn shared_cell(clients: usize, dial_bp: u64, mode: ExecMode, quick: bool) -> SharedRun<Ssp> {
+/// Key distribution over the shared region for one sweep family.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SweepDist {
+    Uniform,
+    /// The paper's skew: 80% of shared-region accesses hit 15% of keys.
+    PaperZipf,
+}
+
+impl SweepDist {
+    fn key_dist(self) -> KeyDist {
+        match self {
+            SweepDist::Uniform => KeyDist::uniform(SHARED_ELEMS),
+            SweepDist::PaperZipf => KeyDist::paper_zipf(SHARED_ELEMS),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SweepDist::Uniform => "uniform",
+            SweepDist::PaperZipf => "paper_zipf",
+        }
+    }
+}
+
+fn shared_cell(
+    clients: usize,
+    dial_bp: u64,
+    dist: SweepDist,
+    mode: ExecMode,
+    quick: bool,
+) -> SharedRun<Ssp> {
     let shard = MachineConfig::default().shard_slice(clients.max(2));
     let dial = dial_bp as f64 / 10_000.0;
     let mut cfg = run_cfg(clients, quick);
     cfg.mode = mode;
     run_shared(
         move |_| Ssp::new(shard.clone(), SspConfig::default()),
-        move |w| ConflictSps::uniform(SHARED_ELEMS, PRIVATE_ELEMS, clients, w, dial),
+        move |w| {
+            ConflictSps::new(
+                SHARED_ELEMS,
+                PRIVATE_ELEMS,
+                clients,
+                w,
+                dial,
+                dist.key_dist(),
+            )
+        },
         &cfg,
         &SharedHeapConfig::default(),
     )
@@ -113,9 +153,10 @@ pub fn run(_runner: &MatrixRunner) -> BenchReport {
     for clients in CLIENTS {
         let partitioned_cpt = partitioned_cell(clients, quick);
         for dial_bp in DIALS_BP {
-            let mut threaded = shared_cell(clients, dial_bp, ExecMode::Threaded, quick);
-            let repeat = shared_cell(clients, dial_bp, ExecMode::Threaded, quick);
-            let sequential = shared_cell(clients, dial_bp, ExecMode::Sequential, quick);
+            let dist = SweepDist::Uniform;
+            let mut threaded = shared_cell(clients, dial_bp, dist, ExecMode::Threaded, quick);
+            let repeat = shared_cell(clients, dial_bp, dist, ExecMode::Threaded, quick);
+            let sequential = shared_cell(clients, dial_bp, dist, ExecMode::Sequential, quick);
             assert_eq!(
                 threaded.result, repeat.result,
                 "x{clients} d{dial_bp}: threaded repeat drifted"
@@ -198,6 +239,87 @@ pub fn run(_runner: &MatrixRunner) -> BenchReport {
     assert!(
         high_dial_aborts > 0,
         "8 clients at dial 0.9 must produce real conflicts"
+    );
+
+    // The skewed family (PR-9 follow-up): the same clients × dial sweep
+    // under the paper's 80/15 hot-spot distribution, nonzero dials only
+    // (dial 0 never touches the shared region, so skew is moot there).
+    // Rows are appended after the uniform family so the pre-existing
+    // cells keep their exact JSON shape and values.
+    let mut zipf_high_corner_aborts = 0u64;
+    for clients in CLIENTS {
+        for dial_bp in DIALS_BP.iter().copied().filter(|&d| d > 0) {
+            let dist = SweepDist::PaperZipf;
+            let mut threaded = shared_cell(clients, dial_bp, dist, ExecMode::Threaded, quick);
+            let repeat = shared_cell(clients, dial_bp, dist, ExecMode::Threaded, quick);
+            let sequential = shared_cell(clients, dial_bp, dist, ExecMode::Sequential, quick);
+            assert_eq!(
+                threaded.result, repeat.result,
+                "zipf x{clients} d{dial_bp}: threaded repeat drifted"
+            );
+            assert_eq!(
+                threaded.shared, repeat.shared,
+                "zipf x{clients} d{dial_bp}: threaded repeat OCC counters drifted"
+            );
+            assert_eq!(
+                threaded.result, sequential.result,
+                "zipf x{clients} d{dial_bp}: threaded vs sequential diverged"
+            );
+            assert_eq!(
+                threaded.shared, sequential.shared,
+                "zipf x{clients} d{dial_bp}: threaded vs sequential OCC counters diverged"
+            );
+
+            let s = threaded.shared;
+            assert_eq!(
+                s.committed, threaded.result.txns,
+                "zipf x{clients} d{dial_bp}: committed != requested"
+            );
+            if dial_bp == *DIALS_BP.last().unwrap() && clients == *CLIENTS.last().unwrap() {
+                zipf_high_corner_aborts = s.aborted;
+            }
+
+            let txns = threaded.result.txns.max(1);
+            let cycles_per_txn = threaded.result.elapsed_cycles / txns;
+            let abort_rate_bp = (s.aborted * 10_000).checked_div(s.validated).unwrap_or(0);
+            let tps_milli = (threaded.result.tps * 1_000.0) as u64;
+            let fingerprint = combined_fingerprint(&mut threaded);
+
+            rows.push((
+                format!("x{clients} dial {:.2} zipf", dial_bp as f64 / 10_000.0),
+                vec![
+                    format!("{}", s.committed),
+                    format!("{}", s.aborted),
+                    format!("{:.1}%", abort_rate_bp as f64 / 100.0),
+                    format!("{}", s.retries),
+                    format!("{}", s.max_attempt),
+                    format!("{cycles_per_txn}"),
+                ],
+            ));
+            let mut sim = Json::obj();
+            sim.set("clients", Json::U64(clients as u64));
+            sim.set("conflict_bp", Json::U64(dial_bp));
+            sim.set("dist", Json::Str(dist.name().to_string()));
+            sim.set("txns", Json::U64(threaded.result.txns));
+            sim.set("committed", Json::U64(s.committed));
+            sim.set("aborted", Json::U64(s.aborted));
+            sim.set("validated", Json::U64(s.validated));
+            sim.set("conflicts", Json::U64(s.conflicts));
+            sim.set("cascades", Json::U64(s.cascades));
+            sim.set("retries", Json::U64(s.retries));
+            sim.set("backoff_cycles", Json::U64(s.backoff_cycles));
+            sim.set("max_attempt", Json::U64(s.max_attempt));
+            sim.set("abort_rate_bp", Json::U64(abort_rate_bp));
+            sim.set("elapsed_cycles", Json::U64(threaded.result.elapsed_cycles));
+            sim.set("cycles_per_txn", Json::U64(cycles_per_txn));
+            sim.set("tps_milli", Json::U64(tps_milli));
+            sim.set("fingerprint", Json::U64(fingerprint));
+            sim_rows.push(sim);
+        }
+    }
+    assert!(
+        zipf_high_corner_aborts > 0,
+        "8 clients at dial 0.9 under the 80/15 skew must produce real conflicts"
     );
 
     print_matrix(

@@ -48,6 +48,10 @@ pub fn kind_name(kind: ObsKind) -> &'static str {
         ObsKind::OccValidate => "occ_validate",
         ObsKind::OccAbort => "occ_abort",
         ObsKind::OccRetry => "occ_retry",
+        ObsKind::SvcEnqueue => "svc_enqueue",
+        ObsKind::SvcShed => "svc_shed",
+        ObsKind::SvcExpire => "svc_expire",
+        ObsKind::SvcFlush => "svc_flush",
     }
 }
 

@@ -104,6 +104,18 @@ pub enum ObsKind {
     /// Shared-heap OCC: an aborted transaction re-runs after backoff
     /// (`arg` = backoff cycles charged).
     OccRetry,
+    /// Service mode: a request was admitted to the shard's bounded
+    /// queue (`arg` = queue depth after admission).
+    SvcEnqueue,
+    /// Service mode: admission control shed a request (`arg` = queue
+    /// depth at the refusal).
+    SvcShed,
+    /// Service mode: a queued request's deadline passed before service
+    /// (`arg` = cycles past the deadline at dequeue).
+    SvcExpire,
+    /// Service mode: a group commit flushed (`arg` = requests in the
+    /// group).
+    SvcFlush,
 }
 
 /// One traced event: virtual-time stamp, owning worker, kind, payload.

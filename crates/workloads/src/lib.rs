@@ -21,6 +21,9 @@
 //!   epoch-boundary conflict resolution ([`shared::run_shared`])
 //! * [`conflict`] — the conflict-dial workload ([`conflict::ConflictSps`]):
 //!   SPS swaps over a shared region + per-worker private slices
+//! * [`service`] — the service-mode driver ([`service::run_service`]):
+//!   open-loop arrivals, bounded queues, admission control, deadlines
+//!   with bounded retry, group commit, and recovery-under-fire
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod hash;
 pub mod kvcache;
 pub mod rbtree;
 pub mod runner;
+pub mod service;
 pub mod shared;
 pub mod sps;
 pub mod storm;
@@ -44,6 +48,10 @@ pub use kvcache::{KvCache, MemcachedWorkload};
 pub use rbtree::{RbTree, RbTreeWorkload};
 pub use runner::{
     run, run_parallel, ExecMode, ParallelRun, RunConfig, RunResult, ShardRun, Workload,
+};
+pub use service::{
+    run_service, AdmissionPolicy, ArrivalShape, DrainPoint, ServiceConfig, ServiceRun,
+    ServiceShardRun, ServiceStats,
 };
 pub use shared::{
     run_shared, run_shared_crash_probe, SharedCrashReport, SharedHeapConfig, SharedRun,

@@ -901,6 +901,71 @@ pub struct SharedCrashReport {
     pub aborted: u64,
 }
 
+impl<E: TxnEngine, W: Workload> SharedWorker<OracleEngine<E>, W> {
+    /// Inline `resolve` for the crash probe: replay winners with the
+    /// oracle fold and the storm dance after every publication replay,
+    /// queue losers for retry. Returns `true` if a power cut tripped
+    /// (the caller must restart the shard's epoch ladder from the
+    /// recovered clock).
+    fn probe_resolve(
+        &mut self,
+        verdicts: &[Verdict],
+        intents: Vec<CommitIntent>,
+        report: &mut SharedCrashReport,
+    ) -> bool {
+        let meta = std::mem::take(&mut self.pending_meta);
+        let mut tripped = false;
+        for ((verdict, intent), (rng_before, attempt)) in verdicts.iter().zip(intents).zip(meta) {
+            self.shared.validated += 1;
+            match verdict {
+                Verdict::Won => {
+                    self.shared.committed += 1;
+                    self.replay(&intent);
+                    if self.engine.machine().power_lost() {
+                        probe_storm(&mut self.engine, report);
+                        tripped = true;
+                    } else {
+                        self.engine.oracle_mut().on_commit(SHARD_CORE);
+                    }
+                }
+                Verdict::Conflict | Verdict::Cascade => {
+                    self.shared.aborted += 1;
+                    self.retries.push_back((rng_before, attempt + 1));
+                }
+            }
+        }
+        tripped
+    }
+
+    /// Final quiesce of one probe shard: power off, recover, and check
+    /// the durable state against the oracle; fold the shard's outcome
+    /// counters into the report.
+    fn probe_finish(&mut self, report: &mut SharedCrashReport) {
+        self.engine.machine_mut().disarm_crash();
+        self.engine.crash();
+        self.engine.oracle_mut().on_crash();
+        self.engine.recover();
+        let oracle = self.engine.oracle().clone();
+        if oracle.verify(&mut self.engine, SHARD_CORE).is_err() {
+            report.lost += 1;
+        }
+        report.committed += self.shared.committed;
+        report.aborted += self.shared.aborted;
+    }
+}
+
+impl SharedCrashReport {
+    /// Folds another shard's probe report in (all counters are sums).
+    fn merge(&mut self, o: &SharedCrashReport) {
+        self.storms += o.storms;
+        self.torn_dropped += o.torn_dropped;
+        self.torn_kept += o.torn_kept;
+        self.lost += o.lost;
+        self.committed += o.committed;
+        self.aborted += o.aborted;
+    }
+}
+
 /// Shared-heap run with a scheduled power cut landing inside a
 /// publication replay (validation/publication is the only phase that
 /// touches the engines' commit paths, so an
@@ -911,14 +976,15 @@ pub struct SharedCrashReport {
 /// other committed transaction may be disturbed — the same zero-loss
 /// contract the crash-storm harness enforces.
 ///
-/// Sequential-only (the probe exists for the crash tests; the
-/// determinism suite covers threaded equivalence of the crash-free
-/// protocol) and requires the interconnect disabled.
+/// Runs in both execution modes with bit-identical reports: the
+/// threaded mode puts each shard on a real thread with the usual
+/// shared-heap rendezvous; the sequential mode replays the identical
+/// epoch arithmetic round-robin. Requires the interconnect disabled.
 ///
 /// # Panics
 ///
-/// Panics if `cfg.threads` is zero, `victim` is out of range, the mode
-/// is threaded, or the interconnect is enabled.
+/// Panics if `cfg.threads` is zero, `victim` is out of range, a worker
+/// thread panics, or the interconnect is enabled.
 pub fn run_shared_crash_probe<E, W>(
     mk_engine: impl Fn(usize) -> E + Sync,
     mk_workload: impl Fn(usize) -> W + Sync,
@@ -934,11 +1000,9 @@ where
 {
     assert!(cfg.threads >= 1, "at least one worker");
     assert!(victim < cfg.threads, "victim worker out of range");
-    assert_eq!(
-        cfg.mode,
-        ExecMode::Sequential,
-        "the crash probe is sequential-only"
-    );
+    if cfg.mode == ExecMode::Threaded {
+        return probe_threaded(mk_engine, mk_workload, cfg, shared_cfg, victim, site, hits);
+    }
     let threads = cfg.threads;
     let mut workers: Vec<SharedWorker<OracleEngine<E>, W>> = (0..threads)
         .map(|w| {
@@ -984,31 +1048,10 @@ where
             && verdicts.iter().flatten().all(|v| *v == Verdict::Won);
         for ((w, worker), intents_w) in workers.iter_mut().enumerate().zip(intents) {
             worker.heap = heap.clone();
-            // Inline `resolve`, with the oracle fold and the storm dance
-            // after every publication replay.
-            let meta = std::mem::take(&mut worker.pending_meta);
-            for ((verdict, intent), (rng_before, attempt)) in
-                verdicts[w].iter().zip(intents_w).zip(meta)
-            {
-                worker.shared.validated += 1;
-                match verdict {
-                    Verdict::Won => {
-                        worker.shared.committed += 1;
-                        worker.replay(&intent);
-                        if worker.engine.machine().power_lost() {
-                            probe_storm(&mut worker.engine, &mut report);
-                            // The crash reset the shard's clock; restart
-                            // its epoch ladder from the recovered state.
-                            targets[w] = worker.engine.machine().cycles(SHARD_CORE);
-                        } else {
-                            worker.engine.oracle_mut().on_commit(SHARD_CORE);
-                        }
-                    }
-                    Verdict::Conflict | Verdict::Cascade => {
-                        worker.shared.aborted += 1;
-                        worker.retries.push_back((rng_before, attempt + 1));
-                    }
-                }
+            if worker.probe_resolve(&verdicts[w], intents_w, &mut report) {
+                // The crash reset the shard's clock; restart its epoch
+                // ladder from the recovered state.
+                targets[w] = worker.engine.machine().cycles(SHARD_CORE);
             }
             targets[w] += epoch_cycles;
         }
@@ -1019,18 +1062,118 @@ where
     // Final quiesce: fingerprint-style oracle check of every shard's
     // durable state.
     for worker in workers.iter_mut() {
-        worker.engine.machine_mut().disarm_crash();
-        worker.engine.crash();
-        worker.engine.oracle_mut().on_crash();
-        worker.engine.recover();
-        let oracle = worker.engine.oracle().clone();
-        if oracle.verify(&mut worker.engine, SHARD_CORE).is_err() {
-            report.lost += 1;
-        }
-        report.committed += worker.shared.committed;
-        report.aborted += worker.shared.aborted;
+        worker.probe_finish(&mut report);
     }
     report
+}
+
+/// The threaded crash probe: each shard on a real thread, commit intents
+/// and verdicts riding the [`SharedSync`] rendezvous exactly like
+/// [`run_shared`]'s threaded phase, with the probe's inline resolve
+/// (publication replays polled for power loss, storm dance + oracle
+/// check on the victim). Per-shard decision sequences are identical to
+/// the sequential probe, so the merged report is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn probe_threaded<E, W>(
+    mk_engine: impl Fn(usize) -> E + Sync,
+    mk_workload: impl Fn(usize) -> W + Sync,
+    cfg: &RunConfig,
+    shared_cfg: &SharedHeapConfig,
+    victim: usize,
+    site: FaultSite,
+    hits: u32,
+) -> SharedCrashReport
+where
+    E: TxnEngine,
+    W: Workload,
+{
+    let threads = cfg.threads;
+    let sync = SharedSync::new(threads);
+    let epoch_cycles = shared_cfg.epoch_cycles.max(1);
+    let reports: Vec<SharedCrashReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let (mk_engine, mk_workload) = (&mk_engine, &mk_workload);
+                let sync = &sync;
+                scope.spawn(move || {
+                    let _poison = PoisonOnPanic(vec![&sync.barrier]);
+                    let mut worker = SharedWorker::new(
+                        OracleEngine::new(mk_engine(w)),
+                        mk_workload(w),
+                        cfg,
+                        shared_cfg,
+                        w,
+                    );
+                    worker.setup_capture();
+                    worker.engine.set_recording(true);
+                    assert!(
+                        !worker.engine.machine().config().interconnect.enabled,
+                        "the crash probe requires the interconnect disabled"
+                    );
+                    if sync.barrier.wait() {
+                        let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                        st.heap = worker.heap.clone();
+                    }
+                    sync.barrier.wait();
+                    if w == victim {
+                        worker
+                            .engine
+                            .machine_mut()
+                            .arm_crash(CrashPoint::AtSite { site, hits });
+                    }
+                    worker.fresh = worker_share(cfg.warmup + cfg.txns, threads, w);
+                    let mut report = SharedCrashReport::default();
+                    let mut target = worker.engine.machine().cycles(SHARD_CORE) + epoch_cycles;
+                    loop {
+                        worker.run_epoch(target);
+                        worker.engine.machine_mut().discard_mem_events();
+                        {
+                            let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                            st.intents[w] = std::mem::take(&mut worker.pending_intents);
+                            st.outstanding[w] = worker.outstanding();
+                        }
+                        if sync.barrier.wait() {
+                            let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                            let st = &mut *st;
+                            st.verdicts = validate_epoch(&mut st.heap, &st.intents);
+                            st.done = st.outstanding.iter().all(|&r| r == 0)
+                                && st.verdicts.iter().flatten().all(|v| *v == Verdict::Won);
+                        }
+                        sync.barrier.wait();
+                        let (done, verdicts, intents, heap) = {
+                            let mut st = sync.state.lock().expect("shared epoch state poisoned");
+                            let st = &mut *st;
+                            (
+                                st.done,
+                                std::mem::take(&mut st.verdicts[w]),
+                                std::mem::take(&mut st.intents[w]),
+                                st.heap.clone(),
+                            )
+                        };
+                        worker.heap = heap;
+                        if worker.probe_resolve(&verdicts, intents, &mut report) {
+                            target = worker.engine.machine().cycles(SHARD_CORE);
+                        }
+                        if done {
+                            break;
+                        }
+                        target += epoch_cycles;
+                    }
+                    worker.probe_finish(&mut report);
+                    report
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("crash-probe worker thread panicked"))
+            .collect()
+    });
+    let mut total = SharedCrashReport::default();
+    for r in &reports {
+        total.merge(r);
+    }
+    total
 }
 
 /// The dual-candidate resolution after a power cut inside a publication

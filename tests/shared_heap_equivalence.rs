@@ -267,3 +267,60 @@ fn commit_data_cut_during_publication_loses_nothing() {
 fn commit_mark_cut_during_publication_loses_nothing() {
     crash_probe(FaultSite::CommitMark);
 }
+
+/// The crash probe in [`ExecMode::Threaded`]: across a 2/4-thread
+/// matrix, the threaded probe's report must be bit-identical to the
+/// sequential reference, and the zero-loss contract must hold in both
+/// modes.
+fn threaded_crash_probe_matrix(site: FaultSite) {
+    for threads in [2usize, 4] {
+        let shard = MachineConfig::default().shard_slice(threads);
+        let probe = |mode| {
+            run_shared_crash_probe(
+                |_| Ssp::new(shard.clone(), SspConfig::default()),
+                |w| ConflictSps::uniform(256, 256, threads, w, DIAL),
+                &cfg(mode, threads),
+                &SharedHeapConfig::default(),
+                threads - 1,
+                site,
+                7,
+            )
+        };
+        let sequential = probe(ExecMode::Sequential);
+        let threaded = probe(ExecMode::Threaded);
+        let repeat = probe(ExecMode::Threaded);
+        assert_eq!(
+            threaded, sequential,
+            "x{threads} {site:?}: threaded probe diverged from the sequential reference"
+        );
+        assert_eq!(
+            threaded, repeat,
+            "x{threads} {site:?}: threaded probe drifted across repeats"
+        );
+        assert!(
+            threaded.storms >= 1,
+            "x{threads} {site:?}: the cut never tripped: {threaded:?}"
+        );
+        assert_eq!(threaded.lost, 0, "x{threads} {site:?}: {threaded:?}");
+        assert_eq!(
+            threaded.torn_dropped + threaded.torn_kept,
+            threaded.storms,
+            "x{threads} {site:?}: {threaded:?}"
+        );
+        assert_eq!(
+            threaded.committed,
+            240 + 40,
+            "x{threads} {site:?}: probe must drain all work"
+        );
+    }
+}
+
+#[test]
+fn threaded_commit_data_probe_matches_sequential() {
+    threaded_crash_probe_matrix(FaultSite::CommitData);
+}
+
+#[test]
+fn threaded_commit_mark_probe_matches_sequential() {
+    threaded_crash_probe_matrix(FaultSite::CommitMark);
+}
